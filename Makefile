@@ -1,0 +1,28 @@
+# GossipTrust reproduction — common workflows.
+
+PYTHON ?= python
+
+.PHONY: install test bench examples experiments docs clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	@for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f || exit 1; done
+
+# Regenerate every paper table/figure at smoke scale (fast sanity pass).
+experiments:
+	$(PYTHON) -m repro.cli all --quick
+
+docs:
+	$(PYTHON) tools/gen_api_doc.py
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

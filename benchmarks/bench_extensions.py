@@ -1,0 +1,66 @@
+"""Bench: the extension experiments behind the §7 claims.
+
+* fault tolerance — gossip error under message loss, link failures,
+  and churn on the message-level engine;
+* storage — Bloom reputation store memory/accuracy sweep;
+* overhead — messages and DHT hops vs the EigenTrust/PowerTrust
+  baselines.
+"""
+
+from repro.experiments.fault_tolerance import run_fault_tolerance
+from repro.experiments.overhead_comparison import run_overhead
+from repro.experiments.storage_experiment import run_storage
+
+
+def test_fault_tolerance(benchmark, save_result):
+    result = benchmark.pedantic(
+        lambda: run_fault_tolerance(
+            n=128,
+            loss_rates=(0.0, 0.05, 0.10, 0.20, 0.30),
+            link_failure_fractions=(0.0, 0.1, 0.2),
+            departure_counts=(0, 8, 16),
+            repeats=3,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(result)
+    # Fault-free gossip is essentially exact.
+    assert result.data["loss/0"] < 1e-3
+    # Error grows with loss but the protocol never diverges.
+    assert result.data["loss/0.05"] < result.data["loss/0.3"]
+    assert result.data["loss/0.3"] < 1.0
+    # Random-partner gossip shrugs off 20% failed overlay links.
+    assert result.data["link/0.2"] < 0.05
+    # Churn of 16/128 nodes mid-cycle perturbs but does not break.
+    assert result.data["churn/16"] < 0.5
+
+
+def test_storage_efficiency(benchmark, save_result):
+    result = benchmark.pedantic(
+        lambda: run_storage(n=1000, bracket_bits=(3, 4, 5, 6, 8), repeats=3),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(result)
+    # Finer brackets -> lower quantization error, monotonically.
+    errs = [result.data[str(b)]["mean_rel_error"] for b in (3, 4, 5, 6, 8)]
+    assert all(a >= b for a, b in zip(errs, errs[1:]))
+    # The store compresses vs a raw score table at coarse brackets.
+    assert result.data["3"]["compression"] > 1.0
+    # At 8 bits top-10 selection survives quantization.
+    assert result.data["8"]["top_k_overlap"] >= 0.8
+
+
+def test_overhead_vs_dht_baselines(benchmark, save_result):
+    result = benchmark.pedantic(
+        lambda: run_overhead(sizes=(200, 500, 1000), repeats=2),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(result)
+    for n in (200, 500, 1000):
+        row = result.data[str(n)]
+        # Gossip aggregation ships fewer messages than replicated
+        # DHT score management at every size.
+        assert row["gossip_messages"] < row["eigentrust_messages"]

@@ -1,0 +1,36 @@
+"""Bench: Fig. 3 — gossip steps vs epsilon for three network sizes.
+
+Paper scale: n in {1000, 2000, 4000}, epsilon from 1e-1 down to 1e-5.
+Shape assertions: steps grow as epsilon tightens; small-epsilon curves
+for different sizes nearly coincide (threshold-dominated); the
+large-epsilon regime is size-dominated; growth is logarithmic, not
+linear, in n.
+"""
+
+from repro.experiments.fig3_gossip_steps import run_fig3
+
+SIZES = (1000, 2000, 4000)
+EPSILONS = (1e-1, 1e-2, 1e-3, 1e-4, 1e-5)
+
+
+def test_fig3_gossip_step_counts(benchmark, save_result):
+    result = benchmark.pedantic(
+        lambda: run_fig3(sizes=SIZES, epsilons=EPSILONS, repeats=2, cycles_per_point=2),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(result)
+
+    for n in SIZES:
+        curve = result.series_by_label(f"n={n}")
+        # Steps increase (weakly) as epsilon tightens along the sweep.
+        assert curve.y[-1] > curve.y[0]
+
+    # Threshold-dominated regime: at the tightest epsilon the three
+    # sizes stay within a small band (the paper's scalability claim).
+    tight = [result.series_by_label(f"n={n}").y[-1] for n in SIZES]
+    assert max(tight) - min(tight) < 0.35 * max(tight)
+
+    # Logarithmic size growth: 4x nodes costs only a few extra steps.
+    loose = [result.series_by_label(f"n={n}").y[0] for n in SIZES]
+    assert loose[2] < loose[0] + 10

@@ -1,0 +1,16 @@
+"""Bench: Table 1 / Fig. 2 — the three-node worked example.
+
+Regenerates the per-step gossip table and asserts the paper's stated
+consensus (0.2 on all three nodes) exactly.
+"""
+
+import numpy as np
+
+from repro.experiments.table1_example import run_table1
+
+
+def test_table1_worked_example(benchmark, save_result):
+    result = benchmark(run_table1)
+    save_result(result)
+    assert result.data["exact"] is True
+    assert np.allclose(result.data["consensus"], 0.2)

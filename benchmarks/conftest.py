@@ -1,0 +1,35 @@
+"""Benchmark-suite helpers.
+
+Every benchmark regenerates a paper artifact (or an ablation) and
+persists the rendered text under ``benchmarks/results/`` so the
+regenerated tables/figures survive the run and can be diffed against
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_result(results_dir):
+    """Write an ExperimentResult's rendering to results/<id>.txt."""
+
+    def _save(result, suffix: str = "") -> str:
+        name = result.experiment_id + (f"_{suffix}" if suffix else "")
+        path = results_dir / f"{name}.txt"
+        text = result.render()
+        path.write_text(text + "\n")
+        return text
+
+    return _save

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Gossip under fire: message loss, link failures, and churn.
+
+Runs one gossiped aggregation cycle on the *message-level* engine — real
+messages on a discrete-event simulator over a Gnutella-like overlay —
+while injecting faults, and reports how far the gossiped scores land
+from the exact computation.  This is the machinery behind the paper's
+fault-tolerance claims (§7): push-sum needs no error recovery because
+lost messages remove x- and w-mass together, leaving the surviving
+ratios approximately right.
+
+Run:  python examples/churn_and_faults.py
+"""
+
+import numpy as np
+
+from repro.experiments.synthetic import synthetic_trust_matrix
+from repro.gossip.message_engine import MessageGossipEngine
+from repro.network.churn import ChurnModel
+from repro.network.overlay import Overlay
+from repro.network.topology import gnutella_like
+from repro.network.transport import Transport
+from repro.sim.engine import Simulator
+from repro.utils.rng import RngStreams
+
+N = 96
+
+
+def run_cycle(label: str, *, loss=0.0, failed_links=0, churn=False, seed=0):
+    streams = RngStreams(seed)
+    S = synthetic_trust_matrix(N, rng=streams.get("matrix"))
+    sim = Simulator()
+    topo = gnutella_like(N, rng=streams.get("topo"))
+    overlay = Overlay(topo, rng=streams.get("overlay"))
+    transport = Transport(sim, latency=1.0, loss_rate=loss, rng=streams.get("net"))
+
+    if failed_links:
+        edges = list(topo.edges())
+        gen = streams.get("failures")
+        for idx in gen.choice(len(edges), size=failed_links, replace=False):
+            u, v = edges[int(idx)]
+            transport.fail_link(u, v)
+
+    if churn:
+        model = ChurnModel(
+            sim, overlay, mean_session=60.0, mean_offline=25.0, min_alive=N // 2,
+            rng=streams.get("churn"),
+        )
+        model.start()
+
+    engine = MessageGossipEngine(
+        sim, transport, overlay, epsilon=1e-4, round_interval=2.0,
+        max_rounds=300, rng=streams.get("gossip"),
+    )
+    csr = S.sparse()
+    rows = [
+        dict(zip(csr.indices[csr.indptr[i]:csr.indptr[i+1]].tolist(),
+                 csr.data[csr.indptr[i]:csr.indptr[i+1]].tolist()))
+        for i in range(N)
+    ]
+    res = engine.run_cycle(rows, np.full(N, 1.0 / N))
+    print(
+        f"{label:<28} rounds={res.steps:<4} sent={res.messages_sent:<6} "
+        f"dropped={res.messages_dropped:<5} mass_lost={res.mass_lost_fraction:6.1%} "
+        f"gossip_error={res.gossip_error:.2e}"
+    )
+    return res
+
+
+def main() -> None:
+    print(f"one gossiped aggregation cycle, {N} nodes, message-level engine\n")
+    run_cycle("fault-free")
+    run_cycle("5% message loss", loss=0.05)
+    run_cycle("15% message loss", loss=0.15)
+    run_cycle("30 failed overlay links", failed_links=30)
+    run_cycle("active churn", churn=True)
+    run_cycle("loss + links + churn", loss=0.05, failed_links=20, churn=True)
+    print(
+        "\nReading: without faults gossip is exact to ~1e-6; faults cost "
+        "accuracy in proportion to the mass they remove, but the protocol "
+        "never diverges and needs no retransmission machinery."
+    )
+
+
+if __name__ == "__main__":
+    main()

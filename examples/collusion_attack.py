@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Collusion attacks and the power-node defense (the paper's Fig. 4(b)).
+
+Builds matched honest/attacked trust matrices where 10% of peers form
+collusion rings that fabricate mutual praise, then measures how far the
+attacked aggregation drifts from the truthful one (Eq. 8 RMS error) —
+with and without power-node leverage (greedy factor alpha = 0.15).
+
+Run:  python examples/collusion_attack.py
+"""
+
+import numpy as np
+
+from repro.core.aggregation import exact_global_reputation
+from repro.core.config import GossipTrustConfig
+from repro.metrics.errors import rank_overlap, rms_relative_error
+from repro.peers.threat_models import build_collusive_scenario
+
+N = 400
+FRACTION = 0.10
+SEEDS = (0, 1, 2)
+
+
+def measure(group_size: int, alpha: float) -> tuple:
+    rms_vals, overlap_vals = [], []
+    for seed in SEEDS:
+        scenario = build_collusive_scenario(N, FRACTION, group_size, rng=seed)
+        cfg = GossipTrustConfig(n=N, alpha=alpha, max_cycles=60)
+        v = exact_global_reputation(
+            scenario.S_true, cfg, raise_on_budget=False
+        ).vector
+        u = exact_global_reputation(
+            scenario.S_attacked, cfg, raise_on_budget=False
+        ).vector
+        rms_vals.append(rms_relative_error(v, u))
+        overlap_vals.append(rank_overlap(v, u, 20))
+    return float(np.mean(rms_vals)), float(np.mean(overlap_vals))
+
+
+def main() -> None:
+    print(
+        f"{N} peers, {FRACTION:.0%} collusive, RMS error of attacked vs "
+        f"truthful aggregation (avg of {len(SEEDS)} seeds)\n"
+    )
+    header = f"{'group size':>10}  {'alpha=0 RMS':>12}  {'alpha=0.15 RMS':>15}  {'error cut':>9}  {'top20 kept':>10}"
+    print(header)
+    print("-" * len(header))
+    for group_size in (2, 4, 6, 8, 10):
+        rms_plain, _ = measure(group_size, alpha=0.0)
+        rms_power, overlap = measure(group_size, alpha=0.15)
+        cut = 1.0 - rms_power / rms_plain
+        print(
+            f"{group_size:>10}  {rms_plain:>12.3f}  {rms_power:>15.3f}  "
+            f"{cut:>8.0%}  {overlap:>10.0%}"
+        )
+    print(
+        "\nReading: larger collusion rings distort reputations more; "
+        "power-node leverage (alpha=0.15) absorbs much of the damage, "
+        "and the top-20 ranking the selector actually uses stays intact."
+    )
+
+
+if __name__ == "__main__":
+    main()

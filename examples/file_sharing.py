@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Reputation-assisted P2P file sharing (the paper's §6.4 scenario).
+
+Simulates a Gnutella-like community where 20% of peers serve corrupted
+files and lie in their feedback.  Two download policies run on the
+*same* population and catalog:
+
+* GossipTrust — pick the responder with the highest global reputation,
+  refreshed by gossip aggregation every 500 queries;
+* NoTrust — pick a responder at random.
+
+The per-window success rates show GossipTrust learning who to avoid.
+
+Run:  python examples/file_sharing.py
+"""
+
+from repro.baselines.notrust import NoTrustSelector, ReputationSelector
+from repro.core.config import GossipTrustConfig
+from repro.peers.behavior import PeerPopulation
+from repro.utils.rng import RngStreams
+from repro.workload.files import FileCatalog
+from repro.workload.filesharing import FileSharingSimulation
+
+N_PEERS = 300
+N_FILES = 10_000
+MALICIOUS = 0.20
+QUERIES = 4000
+REFRESH = 500
+
+
+def run_policy(name: str, policy, streams: RngStreams, *, use_gossip: bool):
+    population = PeerPopulation.build(
+        N_PEERS, malicious_fraction=MALICIOUS, rng=streams.get("population")
+    )
+    catalog = FileCatalog(N_FILES, N_PEERS, rng=streams.get("catalog"))
+    sim = FileSharingSimulation(
+        population,
+        catalog,
+        policy,
+        refresh_interval=REFRESH,
+        config=GossipTrustConfig(n=N_PEERS, engine_mode="probe", seed=1),
+        use_gossip=use_gossip,
+        rng=streams.get(f"sim-{name}"),
+    )
+    result = sim.run(QUERIES)
+    print(f"\n{name}")
+    print(f"  overall success rate : {result.success_rate:.1%}")
+    print(f"  steady-state success : {result.steady_state_success:.1%}")
+    print(f"  unresolved queries   : {result.unresolved}")
+    windows = "  ".join(f"{w:.1%}" for w in result.window_success)
+    print(f"  per-window success   : {windows}")
+    if result.gossip_steps:
+        print(f"  gossip steps spent   : {result.gossip_steps}")
+    return result
+
+
+def main() -> None:
+    print(
+        f"{N_PEERS} peers ({MALICIOUS:.0%} malicious), {N_FILES} files, "
+        f"{QUERIES} queries, reputation refresh every {REFRESH}"
+    )
+    gt = run_policy(
+        "GossipTrust (highest-reputation source)",
+        ReputationSelector(N_PEERS, rng=2),
+        RngStreams(0),
+        use_gossip=True,
+    )
+    nt = run_policy(
+        "NoTrust (random source)",
+        NoTrustSelector(rng=2),
+        RngStreams(0),  # same seeds -> same population/catalog
+        use_gossip=False,
+    )
+    gain = gt.steady_state_success - nt.steady_state_success
+    print(f"\nGossipTrust steady-state advantage: +{gain:.1%}")
+
+
+if __name__ == "__main__":
+    main()

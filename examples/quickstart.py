@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Quickstart: compute global reputations with GossipTrust.
+
+Builds a tiny P2P community from raw transaction feedback, runs the
+gossip-based aggregation, and compares the result with the exact
+eigenvector — the whole public-API surface in ~60 lines.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    FeedbackLedger,
+    GossipTrust,
+    GossipTrustConfig,
+    TransactionOutcome,
+    TrustMatrix,
+)
+from repro.baselines.centralized import CentralizedEigenvector
+
+
+def main() -> None:
+    n = 12
+    rng = np.random.default_rng(7)
+
+    # 1. Peers transact and rate each other (+1 authentic / -1 not).
+    #    Peer 0 is a great server; peer 11 serves junk.
+    ledger = FeedbackLedger(n)
+    quality = np.linspace(0.95, 0.15, n)  # peer i serves well w.p. quality[i]
+    for _ in range(600):
+        rater = int(rng.integers(n))
+        ratee = int(rng.integers(n - 1))
+        ratee += ratee >= rater
+        ok = rng.random() < quality[ratee]
+        ledger.record_transaction(
+            rater,
+            ratee,
+            TransactionOutcome.AUTHENTIC if ok else TransactionOutcome.INAUTHENTIC,
+        )
+
+    # 2. Normalize into the trust matrix S (Eq. 1 of the paper).
+    S = TrustMatrix.from_ledger(ledger)
+    print(f"trust matrix: {S.n} peers, {S.nnz} nonzero local scores")
+
+    # 3. Run GossipTrust: push-sum gossip inside power-iteration cycles.
+    config = GossipTrustConfig(n=n, alpha=0.15, seed=42)
+    system = GossipTrust(S, config)
+    result = system.run()
+    print(
+        f"converged in {result.cycles} aggregation cycles "
+        f"({result.total_gossip_steps} gossip steps total)"
+    )
+    print(f"power nodes for the next round: {sorted(result.power_nodes)}")
+
+    # 4. Inspect the reputation ranking.
+    reputation = result.reputation()
+    print("\nrank  peer  score     serve-quality")
+    for rank, peer in enumerate(reputation.top(n), start=1):
+        print(
+            f"{rank:>4}  {peer:>4}  {reputation.score(peer):.5f}   {quality[peer]:.2f}"
+        )
+
+    # 5. Sanity: the gossiped vector tracks the exact (noise-free)
+    #    computation with the same power-node mixing, and — with the
+    #    mixing removed — the plain principal eigenvector.
+    err = np.abs(result.vector - result.exact_reference.vector).sum()
+    print(f"\nL1 distance from exact alpha-matched reference: {err:.2e}")
+    plain = GossipTrust(S, config.with_updates(alpha=0.0)).run()
+    oracle = CentralizedEigenvector(S).compute()
+    print(
+        "L1 distance, alpha=0 gossip vs exact eigenvector: "
+        f"{np.abs(plain.vector - oracle).sum():.2e}"
+    )
+
+
+if __name__ == "__main__":
+    main()

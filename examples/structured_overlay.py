@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""GossipTrust next to the DHT-based alternatives (§2 and §7).
+
+The paper motivates gossip by the *cost* of reputation management on a
+structured overlay: EigenTrust and PowerTrust assume a DHT for score
+placement and lookup.  This example runs all three on the same trust
+matrix and prints an overhead/accuracy scorecard, plus the Chord-ring
+mechanics (lookup hop counts) the baselines depend on.
+
+Run:  python examples/structured_overlay.py
+"""
+
+import numpy as np
+
+from repro.baselines.centralized import CentralizedEigenvector
+from repro.baselines.eigentrust import DistributedEigenTrust
+from repro.baselines.powertrust import PowerTrust
+from repro.core.config import GossipTrustConfig
+from repro.core.gossiptrust import GossipTrust
+from repro.experiments.synthetic import synthetic_trust_matrix
+from repro.metrics.errors import kendall_tau
+from repro.network.dht import ChordRing
+from repro.utils.rng import RngStreams
+
+N = 500
+
+
+def main() -> None:
+    streams = RngStreams(4)
+    S = synthetic_trust_matrix(N, rng=streams.get("matrix"))
+    oracle = CentralizedEigenvector(S).compute(cross_check=True)
+    print(f"{N} peers, {S.nnz} local scores; oracle = exact eigenvector\n")
+
+    # --- the Chord substrate itself ---------------------------------
+    ring = ChordRing(range(N), bits=32)
+    hops = [ring.lookup(i % N, ("score", i)).hops for i in range(300)]
+    print(
+        f"Chord ring: {N} nodes, mean lookup hops {np.mean(hops):.1f} "
+        f"(log2 n = {np.log2(N):.1f})\n"
+    )
+
+    # --- GossipTrust: no structure needed ----------------------------
+    # All three systems run with the same greedy/pre-trust factor 0.15
+    # so their fixed points are comparable; the mixing also guarantees
+    # convergence on near-periodic trust matrices.
+    cfg = GossipTrustConfig(n=N, alpha=0.15, engine_mode="probe", seed=4)
+    gt = GossipTrust(S, cfg, rng=streams.get("gossip")).run()
+    gt_messages = gt.total_gossip_steps * N
+    print("GossipTrust (unstructured)")
+    print(f"  cycles x steps : {gt.cycles} x ~{gt.total_gossip_steps // gt.cycles}")
+    print(f"  messages       : {gt_messages}")
+    print(f"  tau vs oracle  : {kendall_tau(oracle, gt.vector):.4f}")
+
+    # --- EigenTrust on the DHT ---------------------------------------
+    et = DistributedEigenTrust(S, a=0.15, replicas=3).compute()
+    print("\nEigenTrust (DHT, 3 score managers per peer, a=0.15)")
+    print(f"  iterations     : {et.iterations}")
+    print(f"  DHT lookups    : {et.dht_lookups} ({et.dht_hops} ring hops)")
+    print(f"  messages       : {et.messages}")
+    print(f"  tau vs oracle  : {kendall_tau(oracle, et.vector):.4f}")
+
+    # --- PowerTrust on the DHT ----------------------------------------
+    pt = PowerTrust(S, alpha=0.15).compute()
+    print("\nPowerTrust (DHT, look-ahead random walk, alpha=0.15)")
+    print(f"  iterations     : {pt.iterations}")
+    print(f"  DHT lookups    : {pt.dht_lookups} ({pt.dht_hops} ring hops)")
+    print(f"  power nodes    : {sorted(pt.power_nodes)[:5]}...")
+    print(f"  tau vs oracle  : {kendall_tau(oracle, pt.vector):.4f}")
+
+    print(
+        f"\nReading: gossip pays ~{gt_messages} plain point-to-point messages "
+        "and needs no overlay structure; the DHT systems pay a lookup storm "
+        "plus per-iteration manager traffic — affordable only where a DHT "
+        "already exists, which is exactly the paper's argument."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""Baseline reputation systems GossipTrust is compared against.
+
+* :mod:`repro.baselines.centralized` — exact eigenvector computation
+  (power iteration + scipy ARPACK cross-check); the accuracy oracle.
+* :mod:`repro.baselines.eigentrust` — EigenTrust, both the basic
+  synchronous iteration and the distributed variant with DHT-assigned
+  score managers (with lookup/message overhead accounting).
+* :mod:`repro.baselines.powertrust` — PowerTrust: power-node leverage
+  plus look-ahead random walk, on the DHT substrate.
+* :mod:`repro.baselines.notrust` — the NoTrust policy of §6.4: random
+  peer selection, no reputation at all.
+"""
+
+from repro.baselines.centralized import CentralizedEigenvector
+from repro.baselines.eigentrust import DistributedEigenTrust, EigenTrust
+from repro.baselines.notrust import NoTrustSelector, ProportionalSelector, ReputationSelector
+from repro.baselines.powertrust import PowerTrust
+
+__all__ = [
+    "CentralizedEigenvector",
+    "EigenTrust",
+    "DistributedEigenTrust",
+    "PowerTrust",
+    "NoTrustSelector",
+    "ReputationSelector",
+    "ProportionalSelector",
+]

@@ -1,0 +1,157 @@
+"""Peer-selection policies for the file-sharing workload (§6.4).
+
+The paper compares two download-source selectors:
+
+* **GossipTrust selection** — "the one with the highest global score is
+  selected" (:class:`ReputationSelector`);
+* **NoTrust** — "randomly selects a node to download the desired file
+  without considering node reputation" (:class:`NoTrustSelector`).
+
+Both implement the same tiny protocol so the workload simulation is
+policy-agnostic.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.utils.rng import SeedLike, as_generator
+
+__all__ = ["SelectionPolicy", "NoTrustSelector", "ReputationSelector", "ProportionalSelector"]
+
+
+class SelectionPolicy(Protocol):
+    """Chooses a download source among query responders."""
+
+    def choose(self, responders: Sequence[int]) -> int:
+        """Pick one node id from a non-empty responder list."""
+        ...  # pragma: no cover
+
+    def update_scores(self, scores: np.ndarray) -> None:
+        """Receive refreshed global reputation scores."""
+        ...  # pragma: no cover
+
+
+class NoTrustSelector:
+    """Uniform random selection — the reputation-free baseline."""
+
+    def __init__(self, rng: SeedLike = None):
+        self._rng = as_generator(rng)
+
+    def choose(self, responders: Sequence[int]) -> int:
+        """Uniform pick."""
+        if not responders:
+            raise ValidationError("responder list is empty")
+        return int(responders[int(self._rng.integers(len(responders)))])
+
+    def update_scores(self, scores: np.ndarray) -> None:
+        """No-op: NoTrust ignores reputation."""
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "NoTrustSelector()"
+
+
+class ReputationSelector:
+    """Highest-global-score selection (GossipTrust's policy).
+
+    Ties break toward the lower node id for determinism.  Until the
+    first score refresh every peer is equally trusted, so the first
+    window behaves like NoTrust with deterministic tie-breaks — matching
+    the paper's uniform ``V(0)``.
+    """
+
+    def __init__(self, n: int, rng: SeedLike = None):
+        if n < 1:
+            raise ValidationError(f"n must be >= 1, got {n}")
+        self._scores = np.full(n, 1.0 / n)
+        self._rng = as_generator(rng)
+
+    def choose(self, responders: Sequence[int]) -> int:
+        """Pick the responder with the highest current global score.
+
+        While scores are still uniform (before the first refresh) the
+        pick is uniform random rather than lowest-id, to avoid biasing
+        early transactions toward small ids.
+        """
+        if not responders:
+            raise ValidationError("responder list is empty")
+        cand = np.asarray(responders, dtype=np.int64)
+        scores = self._scores[cand]
+        best = float(scores.max())
+        top = cand[scores >= best - 1e-18]
+        if top.size == 1:
+            return int(top[0])
+        return int(top[int(self._rng.integers(top.size))])
+
+    def update_scores(self, scores: np.ndarray) -> None:
+        """Install refreshed global reputation scores."""
+        arr = np.asarray(scores, dtype=np.float64)
+        if arr.shape != self._scores.shape:
+            raise ValidationError(
+                f"scores must have shape {self._scores.shape}, got {arr.shape}"
+            )
+        self._scores = arr.copy()
+
+    @property
+    def scores(self) -> np.ndarray:
+        """Current score table (copy)."""
+        return self._scores.copy()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"ReputationSelector(n={self._scores.shape[0]})"
+
+
+class ProportionalSelector:
+    """Reputation-proportional randomized selection.
+
+    Deterministic highest-score selection concentrates every download on
+    one peer per file — great for success rate, terrible for load
+    balance (the EigenTrust paper already flags this).  This policy
+    picks responders with probability proportional to
+    ``score ** sharpness``: ``sharpness=1`` is plain proportional,
+    larger values approach the deterministic argmax, ``0`` degrades to
+    NoTrust.  The ``load`` ablation quantifies the tradeoff.
+    """
+
+    def __init__(self, n: int, *, sharpness: float = 1.0, rng: SeedLike = None):
+        if n < 1:
+            raise ValidationError(f"n must be >= 1, got {n}")
+        if sharpness < 0:
+            raise ValidationError(f"sharpness must be >= 0, got {sharpness}")
+        self._scores = np.full(n, 1.0 / n)
+        self.sharpness = float(sharpness)
+        self._rng = as_generator(rng)
+
+    def choose(self, responders: Sequence[int]) -> int:
+        """Sample a responder with probability ~ score ** sharpness."""
+        if not responders:
+            raise ValidationError("responder list is empty")
+        cand = np.asarray(responders, dtype=np.int64)
+        weights = np.maximum(self._scores[cand], 0.0) ** self.sharpness
+        total = weights.sum()
+        if total <= 0:
+            return int(cand[int(self._rng.integers(cand.size))])
+        return int(self._rng.choice(cand, p=weights / total))
+
+    def update_scores(self, scores: np.ndarray) -> None:
+        """Install refreshed global reputation scores."""
+        arr = np.asarray(scores, dtype=np.float64)
+        if arr.shape != self._scores.shape:
+            raise ValidationError(
+                f"scores must have shape {self._scores.shape}, got {arr.shape}"
+            )
+        self._scores = arr.copy()
+
+    @property
+    def scores(self) -> np.ndarray:
+        """Current score table (copy)."""
+        return self._scores.copy()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"ProportionalSelector(n={self._scores.shape[0]}, "
+            f"sharpness={self.sharpness})"
+        )

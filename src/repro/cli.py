@@ -1,0 +1,107 @@
+"""Command-line interface: regenerate any paper table or figure.
+
+Usage::
+
+    gossiptrust list
+    gossiptrust run fig3 [--quick]
+    gossiptrust run table3 --set n=500 --set repeats=2
+    gossiptrust all --quick
+
+``--set key=value`` forwards typed overrides to the experiment runner
+(ints, floats, and comma-separated tuples are auto-parsed).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional
+
+from repro.experiments.registry import list_experiments, run_experiment
+from repro.utils.logging import configure
+
+__all__ = ["main", "build_parser", "parse_override"]
+
+
+def parse_override(text: str) -> tuple:
+    """Parse ``key=value`` into a typed (key, value) pair.
+
+    Values parse as int, then float, then comma-tuples of those, then
+    plain strings.  ``n=500`` -> 500; ``gammas=0.0,0.2`` -> (0.0, 0.2);
+    a trailing comma makes a one-element tuple (``sizes=100,`` -> (100,)),
+    matching Python literal syntax.
+    """
+    if "=" not in text:
+        raise argparse.ArgumentTypeError(f"override must be key=value, got {text!r}")
+    key, _, raw = text.partition("=")
+
+    def scalar(tok: str):
+        for cast in (int, float):
+            try:
+                return cast(tok)
+            except ValueError:
+                continue
+        return tok
+
+    if "," in raw:
+        value: object = tuple(scalar(t) for t in raw.split(",") if t != "")
+    else:
+        value = scalar(raw)
+    return key, value
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="gossiptrust",
+        description="GossipTrust reproduction: regenerate paper tables/figures",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run_p = sub.add_parser("run", help="run one experiment")
+    run_p.add_argument("experiment", help="experiment id (see `list`)")
+    run_p.add_argument("--quick", action="store_true", help="smoke-test scale")
+    run_p.add_argument(
+        "--chart", action="store_true", help="append an ASCII chart of the series"
+    )
+    run_p.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        type=parse_override,
+        metavar="KEY=VALUE",
+        help="override a runner keyword (repeatable)",
+    )
+
+    all_p = sub.add_parser("all", help="run every experiment in sequence")
+    all_p.add_argument("--quick", action="store_true", help="smoke-test scale")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    configure()
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for eid, desc in list_experiments().items():
+            print(f"{eid:10s} {desc}")
+        return 0
+    if args.command == "run":
+        overrides: Dict[str, object] = dict(args.overrides)
+        result = run_experiment(args.experiment, quick=args.quick, **overrides)
+        print(result.render(chart=args.chart))
+        return 0
+    if args.command == "all":
+        for eid in list_experiments():
+            result = run_experiment(eid, quick=args.quick)
+            print(result.render())
+            print()
+        return 0
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,28 @@
+"""The GossipTrust core: cycle orchestration, power nodes, configuration.
+
+This package ties the substrates together into the system of Fig. 1:
+
+* :class:`~repro.core.config.GossipTrustConfig` — all design parameters
+  of Table 2 with the paper's defaults.
+* :class:`~repro.core.power_nodes.PowerNodeSelector` — dynamic selection
+  of the top-reputation nodes after each aggregation round.
+* :mod:`repro.core.aggregation` — the exact iterative reference
+  (noise-free Eq. 2 with greedy-factor mixing) used as ground truth.
+* :class:`~repro.core.gossiptrust.GossipTrust` — the full system: runs
+  gossiped aggregation cycles until the delta criterion, re-selecting
+  power nodes each round.
+"""
+
+from repro.core.aggregation import ExactAggregation, exact_global_reputation
+from repro.core.config import GossipTrustConfig
+from repro.core.gossiptrust import GossipTrust, GossipTrustResult
+from repro.core.power_nodes import PowerNodeSelector
+
+__all__ = [
+    "GossipTrustConfig",
+    "PowerNodeSelector",
+    "ExactAggregation",
+    "exact_global_reputation",
+    "GossipTrust",
+    "GossipTrustResult",
+]

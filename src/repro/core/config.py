@@ -1,0 +1,99 @@
+"""GossipTrust configuration — the design parameters of Table 2.
+
+Defaults are the paper's (Table 2): n = 1000 peers, greedy factor
+``alpha = 0.15``, up to ``q = 1%`` power nodes, aggregation threshold
+``delta = 1e-3``, gossip threshold ``epsilon = 1e-4``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+__all__ = ["GossipTrustConfig"]
+
+
+@dataclass(frozen=True)
+class GossipTrustConfig:
+    """Immutable parameter set for a GossipTrust deployment.
+
+    Attributes
+    ----------
+    n:
+        Number of peers in the P2P network.
+    alpha:
+        Greedy factor — weight of the power-node distribution in the
+        per-cycle mixing ``V <- (1-alpha) S^T V + alpha P``.  ``0``
+        disables power-node leverage entirely.
+    power_node_fraction:
+        Max fraction of nodes selected as power nodes each round
+        (Table 2: ``q`` = 1% of n).
+    delta:
+        Global aggregation convergence threshold (average relative error
+        between consecutive cycle vectors).
+    epsilon:
+        Gossip convergence threshold within a cycle (max per-node
+        estimate change per step).
+    max_cycles:
+        Aggregation-cycle budget (the paper proves d <= ceil(log_b delta),
+        a small number; the budget is a guard, not a tuning knob).
+    max_gossip_steps:
+        Per-cycle gossip step budget.
+    engine_mode:
+        ``"auto"``, ``"full"``, or ``"probe"`` for the vectorized engine.
+    probe_columns:
+        Probe width when the vectorized engine runs in probe mode.
+    seed:
+        Root RNG seed (None = fresh entropy).
+    """
+
+    n: int = 1000
+    alpha: float = 0.15
+    power_node_fraction: float = 0.01
+    delta: float = 1e-3
+    epsilon: float = 1e-4
+    max_cycles: int = 200
+    max_gossip_steps: int = 5000
+    engine_mode: str = "auto"
+    probe_columns: int = 64
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.n < 2:
+            raise ConfigurationError(f"n must be >= 2, got {self.n}")
+        if not 0.0 <= self.alpha < 1.0:
+            raise ConfigurationError(f"alpha must be in [0, 1), got {self.alpha}")
+        if not 0.0 <= self.power_node_fraction <= 1.0:
+            raise ConfigurationError(
+                f"power_node_fraction must be in [0, 1], got {self.power_node_fraction}"
+            )
+        if not self.delta > 0:
+            raise ConfigurationError(f"delta must be > 0, got {self.delta}")
+        if not self.epsilon > 0:
+            raise ConfigurationError(f"epsilon must be > 0, got {self.epsilon}")
+        if self.max_cycles < 1:
+            raise ConfigurationError(f"max_cycles must be >= 1, got {self.max_cycles}")
+        if self.max_gossip_steps < 1:
+            raise ConfigurationError(
+                f"max_gossip_steps must be >= 1, got {self.max_gossip_steps}"
+            )
+        if self.engine_mode not in ("auto", "full", "probe"):
+            raise ConfigurationError(f"unknown engine_mode {self.engine_mode!r}")
+        if self.probe_columns < 1:
+            raise ConfigurationError(
+                f"probe_columns must be >= 1, got {self.probe_columns}"
+            )
+
+    @property
+    def max_power_nodes(self) -> int:
+        """``q`` — the power-node count cap (at least 1 when alpha > 0)."""
+        q = int(self.n * self.power_node_fraction)
+        if self.alpha > 0:
+            return max(1, q)
+        return q
+
+    def with_updates(self, **changes: object) -> "GossipTrustConfig":
+        """A copy with the given fields replaced (re-validated)."""
+        return replace(self, **changes)  # type: ignore[arg-type]

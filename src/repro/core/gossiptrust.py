@@ -1,0 +1,271 @@
+"""The GossipTrust system — gossiped global reputation aggregation.
+
+Orchestrates the full loop of Fig. 1(b):
+
+1. initialize ``V(0) = (1/n, ..., 1/n)``;
+2. per aggregation cycle, run the push-sum gossip protocol until the
+   epsilon criterion, yielding every node's estimate of ``S^T V(t)``;
+3. apply greedy-factor mixing toward the round's (fixed) power nodes;
+4. repeat until the average relative error between consecutive cycle
+   vectors drops below delta;
+5. select the next round's power nodes from the converged vector.
+
+The gossip work is delegated to a pluggable engine — the vectorized
+:class:`~repro.gossip.engine.SynchronousGossipEngine` by default, or the
+message-level :class:`~repro.gossip.message_engine.MessageGossipEngine`
+via :class:`MessageEngineAdapter` when fault injection matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Protocol, Union
+
+import numpy as np
+from scipy import sparse
+
+from repro.core.aggregation import ExactAggregation, exact_global_reputation
+from repro.core.config import GossipTrustConfig
+from repro.core.power_nodes import PowerNodeSelector
+from repro.errors import ConvergenceError, ValidationError
+from repro.gossip.convergence import CycleConvergenceDetector, average_relative_error
+from repro.gossip.engine import GossipCycleResult, SynchronousGossipEngine
+from repro.gossip.message_engine import MessageGossipEngine
+from repro.trust.matrix import TrustMatrix
+from repro.trust.pretrust import PretrustVector
+from repro.types import ReputationVector
+from repro.utils.logging import get_logger
+from repro.utils.rng import RngStreams, SeedLike
+
+__all__ = ["CycleEngine", "MessageEngineAdapter", "GossipTrustResult", "GossipTrust"]
+
+_log = get_logger("core.gossiptrust")
+
+
+class CycleEngine(Protocol):
+    """Anything that can gossip one aggregation cycle."""
+
+    def run_cycle(self, S: TrustMatrix, v: np.ndarray) -> GossipCycleResult:
+        """Estimate ``S^T v`` by gossip; return the cycle outcome."""
+        ...  # pragma: no cover
+
+
+class MessageEngineAdapter:
+    """Adapts :class:`MessageGossipEngine` to the :class:`CycleEngine` protocol.
+
+    Extracts sparse rows from the trust matrix once (they are reused
+    across cycles) and reshapes the message-level result into a
+    :class:`GossipCycleResult`.
+    """
+
+    def __init__(self, engine: MessageGossipEngine):
+        self.engine = engine
+        self._rows_cache: Optional[List[Dict[int, float]]] = None
+        self._rows_for: Optional[int] = None
+
+    def _rows(self, S: TrustMatrix) -> List[Dict[int, float]]:
+        if self._rows_cache is None or self._rows_for != id(S):
+            csr = S.sparse()
+            rows: List[Dict[int, float]] = []
+            for i in range(S.n):
+                start, end = csr.indptr[i], csr.indptr[i + 1]
+                rows.append(
+                    {
+                        int(j): float(val)
+                        for j, val in zip(csr.indices[start:end], csr.data[start:end])
+                    }
+                )
+            self._rows_cache = rows
+            self._rows_for = id(S)
+        return self._rows_cache
+
+    def run_cycle(self, S: TrustMatrix, v: np.ndarray) -> GossipCycleResult:
+        res = self.engine.run_cycle(self._rows(S), v)
+        return GossipCycleResult(
+            v_next=res.v_next,
+            exact=res.exact,
+            steps=res.steps,
+            gossip_error=res.gossip_error,
+            converged=res.converged,
+            mode="message",
+            node_disagreement=float("nan"),
+        )
+
+
+@dataclass
+class GossipTrustResult:
+    """Result of a full GossipTrust aggregation run.
+
+    ``vector`` is the converged gossiped global reputation; ``exact``
+    fields reference the noise-free computation on the same matrix for
+    error reporting.
+    """
+
+    vector: np.ndarray
+    cycles: int
+    converged: bool
+    total_gossip_steps: int
+    #: power nodes selected FROM this round's result (for the next round)
+    power_nodes: FrozenSet[int]
+    cycle_results: List[GossipCycleResult]
+    #: average relative error of the final vector vs the exact reference
+    aggregation_error: float
+    #: mean per-cycle gossip error
+    mean_gossip_error: float
+    #: the exact reference run (same config, no gossip noise)
+    exact_reference: ExactAggregation
+
+    @property
+    def steps_per_cycle(self) -> List[int]:
+        """Gossip step count of each aggregation cycle."""
+        return [r.steps for r in self.cycle_results]
+
+    def reputation(self) -> ReputationVector:
+        """The converged vector as a :class:`~repro.types.ReputationVector`."""
+        return ReputationVector(
+            scores={i: float(s) for i, s in enumerate(self.vector)},
+            cycle=self.cycles,
+        )
+
+
+class GossipTrust:
+    """The GossipTrust reputation system.
+
+    Parameters
+    ----------
+    trust:
+        The normalized local trust matrix ``S`` (or anything
+        :class:`TrustMatrix` accepts via its constructors upstream).
+    config:
+        Design parameters; ``config.n`` must match the matrix.
+    engine:
+        Optional cycle engine; defaults to a
+        :class:`SynchronousGossipEngine` seeded from ``config.seed``.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.trust.matrix import TrustMatrix
+    >>> from repro.core import GossipTrust, GossipTrustConfig
+    >>> raw = np.array([[0, 3, 1], [2, 0, 2], [1, 1, 0]], dtype=float)
+    >>> S = TrustMatrix.from_dense_raw(raw)
+    >>> system = GossipTrust(S, GossipTrustConfig(n=3, alpha=0.0, seed=7))
+    >>> result = system.run()
+    >>> bool(result.converged)
+    True
+    """
+
+    def __init__(
+        self,
+        trust: Union[TrustMatrix, np.ndarray, sparse.spmatrix],
+        config: Optional[GossipTrustConfig] = None,
+        *,
+        engine: Optional[CycleEngine] = None,
+        power_nodes: Optional[FrozenSet[int]] = None,
+        rng: SeedLike = None,
+    ):
+        if isinstance(trust, TrustMatrix):
+            self.S = trust
+        elif sparse.issparse(trust):
+            self.S = TrustMatrix(trust.tocsr())
+        else:
+            self.S = TrustMatrix(sparse.csr_matrix(np.asarray(trust, dtype=np.float64)))
+        n = self.S.n
+        self.config = config if config is not None else GossipTrustConfig(n=n)
+        if self.config.n != n:
+            raise ValidationError(
+                f"config.n={self.config.n} does not match trust matrix n={n}"
+            )
+        streams = RngStreams(rng if rng is not None else self.config.seed)
+        if engine is None:
+            engine = SynchronousGossipEngine(
+                n,
+                epsilon=self.config.epsilon,
+                mode=self.config.engine_mode,
+                probe_columns=self.config.probe_columns,
+                max_steps=self.config.max_gossip_steps,
+                rng=streams.get("gossip"),
+            )
+        self.engine = engine
+        self.selector = PowerNodeSelector(
+            n, self.config.max_power_nodes if self.config.alpha > 0 else 0
+        )
+        #: power nodes carried into the *current* aggregation round;
+        #: fixed while cycles run, re-selected when a round completes
+        self.power_nodes: FrozenSet[int] = frozenset(power_nodes or ())
+        self._mixing = PretrustVector(n, self.power_nodes)
+
+    def set_power_nodes(self, power_nodes: FrozenSet[int]) -> None:
+        """Install the power-node set for the next aggregation round."""
+        self.power_nodes = frozenset(power_nodes)
+        self._mixing = PretrustVector(self.config.n, self.power_nodes)
+
+    def run(self, *, raise_on_budget: bool = True) -> GossipTrustResult:
+        """Run one aggregation round (cycles to delta convergence).
+
+        Power nodes stay fixed for the whole round (§3: they are
+        identified "after each round of global reputation computation
+        ... for the next round").  On completion the selector picks the
+        next round's power nodes from the converged vector, installs
+        them on this system, and reports them in the result.
+
+        Raises
+        ------
+        ConvergenceError
+            If ``max_cycles`` is exhausted and ``raise_on_budget`` is
+            True.
+        """
+        cfg = self.config
+        n = cfg.n
+        detector = CycleConvergenceDetector(cfg.delta)
+        v = np.full(n, 1.0 / n)
+        detector.update(v)
+        cycle_results: List[GossipCycleResult] = []
+        converged = False
+        cycles = 0
+        for cycles in range(1, cfg.max_cycles + 1):
+            res = self.engine.run_cycle(self.S, v)
+            v_new = res.v_next
+            if cfg.alpha > 0:
+                v_new = self._mixing.mix(v_new, cfg.alpha)
+            # Gossip noise can leave the vector sum slightly off 1;
+            # renormalize so cycles compose as probability vectors.
+            total = v_new.sum()
+            if total > 0:
+                v_new = v_new / total
+            cycle_results.append(res)
+            _log.debug(
+                "cycle %d: %d gossip steps, gossip_error=%.3g",
+                cycles,
+                res.steps,
+                res.gossip_error,
+            )
+            if detector.update(v_new):
+                v = v_new
+                converged = True
+                break
+            v = v_new
+        if not converged and raise_on_budget:
+            raise ConvergenceError(
+                f"GossipTrust did not converge in {cfg.max_cycles} cycles "
+                f"(delta={cfg.delta})",
+                steps=cfg.max_cycles,
+                residual=detector.last_residual,
+            )
+        exact = exact_global_reputation(
+            self.S, cfg, power_nodes=self.power_nodes, raise_on_budget=False
+        )
+        next_power = self.selector.select(v)
+        self.set_power_nodes(next_power)
+        gossip_errors = [r.gossip_error for r in cycle_results]
+        return GossipTrustResult(
+            vector=v,
+            cycles=cycles,
+            converged=converged,
+            total_gossip_steps=sum(r.steps for r in cycle_results),
+            power_nodes=next_power,
+            cycle_results=cycle_results,
+            aggregation_error=average_relative_error(v, exact.vector),
+            mean_gossip_error=float(np.mean(gossip_errors)) if gossip_errors else 0.0,
+            exact_reference=exact,
+        )

@@ -1,0 +1,28 @@
+"""Simulated identity-based signatures for gossip message authenticity.
+
+§7 lists "secure communication with identity-based cryptography" among
+the GossipTrust mechanisms: with IBC, a peer's network identity *is*
+its public key, so gossip messages can be authenticated without any
+certificate infrastructure — exactly what an open unstructured overlay
+lacks.
+
+**Substitution (see DESIGN.md):** real IBC needs pairing-based
+cryptography, unavailable offline.  We simulate the *semantics* — a
+trusted PKG issues per-identity private keys; signatures verify against
+the identity alone; forgeries and tampered payloads are rejected —
+with keyed SHA-256 HMACs.  Every property the experiments exercise
+(authenticity, non-forgeability by peers without the identity key)
+holds; bit-level security against a real adversary is out of scope.
+"""
+
+from repro.crypto.ibs import IdentitySigner, SignedEnvelope, verify_envelope
+from repro.crypto.pkg import PrivateKeyGenerator
+from repro.crypto.secure_transport import SecureTransport
+
+__all__ = [
+    "PrivateKeyGenerator",
+    "IdentitySigner",
+    "SignedEnvelope",
+    "verify_envelope",
+    "SecureTransport",
+]

@@ -1,0 +1,82 @@
+"""Identity-based signing and verification of gossip payloads.
+
+A :class:`IdentitySigner` wraps a node's PKG-issued key and produces
+:class:`SignedEnvelope` objects around arbitrary payload bytes.
+Verification re-derives the expected MAC from the claimed sender
+identity — a message claiming to be from ``node:7`` but signed with any
+other key fails, as does any payload tampering.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+from typing import Union
+
+from repro.crypto.pkg import PrivateKeyGenerator
+from repro.errors import CryptoError, SignatureError
+
+__all__ = ["SignedEnvelope", "IdentitySigner", "verify_envelope"]
+
+
+@dataclass(frozen=True)
+class SignedEnvelope:
+    """A payload with its claimed sender identity and signature."""
+
+    identity: str
+    payload: bytes
+    signature: bytes
+
+    def __post_init__(self) -> None:
+        if not self.identity:
+            raise CryptoError("envelope identity must be non-empty")
+
+
+def _mac(key: bytes, identity: str, payload: bytes) -> bytes:
+    msg = b"ibs-sign:" + identity.encode() + b":" + payload
+    return hmac.new(key, msg, hashlib.sha256).digest()
+
+
+class IdentitySigner:
+    """Signs payloads under one identity's PKG-issued key.
+
+    Example
+    -------
+    >>> pkg = PrivateKeyGenerator(b"x" * 32)
+    >>> signer = IdentitySigner("node:3", pkg)
+    >>> env = signer.sign(b"gossip pair")
+    >>> verify_envelope(env, pkg)
+    True
+    """
+
+    def __init__(self, identity: str, pkg: PrivateKeyGenerator):
+        self.identity = identity
+        self._key = pkg.extract(identity)
+
+    def sign(self, payload: Union[bytes, str]) -> SignedEnvelope:
+        """Produce a signed envelope over ``payload``."""
+        data = payload.encode() if isinstance(payload, str) else bytes(payload)
+        return SignedEnvelope(
+            identity=self.identity,
+            payload=data,
+            signature=_mac(self._key, self.identity, data),
+        )
+
+
+def verify_envelope(
+    envelope: SignedEnvelope, pkg: PrivateKeyGenerator, *, raise_on_failure: bool = False
+) -> bool:
+    """Check an envelope against its claimed identity.
+
+    Uses constant-time comparison.  With ``raise_on_failure`` a bad
+    envelope raises :class:`SignatureError` instead of returning False.
+    """
+    key = pkg.verification_key(envelope.identity)
+    expected = _mac(key, envelope.identity, envelope.payload)
+    ok = hmac.compare_digest(expected, envelope.signature)
+    if not ok and raise_on_failure:
+        raise SignatureError(
+            f"signature check failed for identity {envelope.identity!r}"
+        )
+    return ok

@@ -1,0 +1,67 @@
+"""The Private Key Generator (PKG) of the simulated IBS scheme.
+
+In identity-based cryptography a trusted authority holds a master
+secret and derives each participant's private key from their identity
+string.  Here the derivation is ``HMAC(master_secret, identity)`` —
+deterministic, so a peer re-requesting its key gets the same bytes,
+and infeasible to invert without the master secret.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import os
+from typing import Optional, Set
+
+from repro.errors import CryptoError
+
+__all__ = ["PrivateKeyGenerator"]
+
+
+class PrivateKeyGenerator:
+    """Issues identity-bound private keys from one master secret.
+
+    Parameters
+    ----------
+    master_secret:
+        32+ bytes of secret material; generated fresh when omitted.
+        Tests pass a fixed secret for determinism.
+    """
+
+    KEY_BYTES = 32
+
+    def __init__(self, master_secret: Optional[bytes] = None):
+        if master_secret is None:
+            master_secret = os.urandom(self.KEY_BYTES)
+        if len(master_secret) < 16:
+            raise CryptoError("master secret must be at least 16 bytes")
+        self._master = bytes(master_secret)
+        self._issued: Set[str] = set()
+
+    def extract(self, identity: str) -> bytes:
+        """Derive the private key for ``identity`` (idempotent)."""
+        if not identity:
+            raise CryptoError("identity must be a non-empty string")
+        self._issued.add(identity)
+        return hmac.new(self._master, f"extract:{identity}".encode(), hashlib.sha256).digest()
+
+    def verification_key(self, identity: str) -> bytes:
+        """Key used by verifiers for ``identity``.
+
+        In real IBS, verification needs only public parameters.  Our
+        HMAC simulation is symmetric, so the "verification key" equals
+        the signing key — the simulation models the *trust topology*
+        (keys bound to identities by a single authority), not the
+        asymmetry.  Callers must treat this as an oracle available to
+        all honest verifiers.
+        """
+        return self.extract(identity)
+
+    @property
+    def issued_identities(self) -> frozenset:
+        """Identities that have requested keys (monitoring/tests)."""
+        return frozenset(self._issued)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"PrivateKeyGenerator(issued={len(self._issued)})"

@@ -1,0 +1,31 @@
+"""Stochastic workload distributions used throughout the simulations.
+
+The paper parameterizes its workloads with a handful of heavy-tailed
+distributions:
+
+* peer feedback counts — discrete bounded power law with max
+  ``d_max = 200`` and mean ``d_avg = 20`` (:mod:`repro.distributions.powerlaw`),
+* file copy counts — power law with popularity rate ``phi = 1.2``,
+* query popularity — two-segment Zipf, exponent 0.63 for ranks 1-250
+  and 1.24 below (:mod:`repro.distributions.query`),
+* files per peer — Saroiu-style measured Gnutella ownership, modeled as
+  a bounded Pareto (:mod:`repro.distributions.saroiu`).
+"""
+
+from repro.distributions.powerlaw import (
+    BoundedZipf,
+    FeedbackCountDistribution,
+    powerlaw_weights,
+    solve_zipf_exponent_for_mean,
+)
+from repro.distributions.query import TwoSegmentZipf
+from repro.distributions.saroiu import SaroiuFileOwnership
+
+__all__ = [
+    "BoundedZipf",
+    "FeedbackCountDistribution",
+    "powerlaw_weights",
+    "solve_zipf_exponent_for_mean",
+    "TwoSegmentZipf",
+    "SaroiuFileOwnership",
+]

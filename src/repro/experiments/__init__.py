@@ -1,0 +1,20 @@
+"""Experiment harness: one regenerator per paper table/figure.
+
+Every module exposes a ``run_*`` function returning an
+:class:`~repro.experiments.base.ExperimentResult` whose tables/series
+mirror the paper artifact's rows/curves.  The registry maps experiment
+ids (``table1``, ``fig3``, ``table3``, ``fig4a``, ``fig4b``, ``fig5``,
+plus the extension experiments ``fault``, ``storage``, ``overhead``) to
+their runners; the CLI and the benchmark suite both go through it.
+"""
+
+from repro.experiments.base import ExperimentResult, mean_std
+from repro.experiments.registry import get_experiment, list_experiments, run_experiment
+
+__all__ = [
+    "ExperimentResult",
+    "mean_std",
+    "get_experiment",
+    "list_experiments",
+    "run_experiment",
+]

@@ -1,0 +1,105 @@
+"""Common experiment infrastructure.
+
+The paper reports "the average of at least 10 simulation runs with
+different seeds" per data point; :func:`mean_std` and the ``seeds``
+convention (root seeds ``0..repeats-1``) implement that.  Experiment
+outputs are structured (:class:`ExperimentResult`) so the CLI prints
+them, benches regression-check them, and tests assert on their shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.metrics.reporting import Series, TextTable
+
+__all__ = ["ExperimentResult", "mean_std", "seed_range"]
+
+
+@dataclass
+class ExperimentResult:
+    """Structured output of one experiment regeneration.
+
+    Attributes
+    ----------
+    experiment_id:
+        The registry id (``fig3``, ``table3``, ...).
+    title:
+        Human-readable description matching the paper artifact.
+    tables:
+        Rendered-on-demand text tables (Table artifacts, and tabular
+        views of figures).
+    series:
+        Figure curves, one per plotted line.
+    data:
+        Raw numbers keyed by name, for programmatic assertions.
+    notes:
+        Free-text caveats (e.g. scaled-down parameters and why).
+    """
+
+    experiment_id: str
+    title: str
+    tables: List[TextTable] = field(default_factory=list)
+    series: List[Series] = field(default_factory=list)
+    data: Dict[str, object] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+    #: axis hints for the ASCII chart renderer ({"log_x": True, ...})
+    chart_hints: Dict[str, object] = field(default_factory=dict)
+
+    def render(self, *, chart: bool = False) -> str:
+        """Full text rendering: title, notes, tables, series.
+
+        With ``chart=True`` and at least one non-empty series, an ASCII
+        line chart of the series is appended (axis scales taken from
+        ``chart_hints``).
+        """
+        parts: List[str] = [f"== {self.experiment_id}: {self.title} =="]
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        for table in self.tables:
+            parts.append(table.render())
+        for series in self.series:
+            parts.append(series.render())
+        if chart and any(len(s) for s in self.series):
+            from repro.metrics.ascii_plot import render_chart
+
+            parts.append(
+                render_chart(
+                    [s for s in self.series if len(s)],
+                    title=f"[chart] {self.experiment_id}",
+                    log_x=bool(self.chart_hints.get("log_x", False)),
+                    log_y=bool(self.chart_hints.get("log_y", False)),
+                    x_label=str(self.chart_hints.get("x_label", "x")),
+                    y_label=str(self.chart_hints.get("y_label", "y")),
+                )
+            )
+        return "\n\n".join(parts)
+
+    def series_by_label(self, label: str) -> Series:
+        """Find a series by its label."""
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise ExperimentError(
+            f"no series labeled {label!r} in {self.experiment_id} "
+            f"(have: {[s.label for s in self.series]})"
+        )
+
+
+def seed_range(repeats: int) -> Sequence[int]:
+    """The canonical root seeds for ``repeats`` runs (0..repeats-1)."""
+    if repeats < 1:
+        raise ExperimentError(f"repeats must be >= 1, got {repeats}")
+    return range(repeats)
+
+
+def mean_std(values: Sequence[float]) -> Tuple[float, float]:
+    """Mean and (population) std of per-seed measurements."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ExperimentError("cannot average zero measurements")
+    return float(arr.mean()), float(arr.std())

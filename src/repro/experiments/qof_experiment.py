@@ -1,0 +1,105 @@
+"""QoF extension experiment — the §7 dual-score suggestion, evaluated.
+
+Measures, across malicious fractions, (a) whether QoF discriminates
+honest from dishonest witnesses, judged against both the truthful and
+the self-computed consensus, and (b) whether QoF-modulated voting
+reduces the Eq. 8 RMS error of the attacked aggregation.
+
+Honest summary of what we find (recorded in EXPERIMENTS.md): the
+endorsement-quality signal separates witnesses cleanly when judged
+against a clean consensus, and vote modulation recovers ~20% of the RMS
+error under heavy attack (gamma >= 0.4) while staying neutral at
+moderate attack — but the self-bootstrapped alternation inherits the
+poisoned consensus and cannot fully substitute for power nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.aggregation import exact_global_reputation
+from repro.core.config import GossipTrustConfig
+from repro.experiments.base import ExperimentResult, mean_std, seed_range
+from repro.metrics.errors import rms_relative_error
+from repro.metrics.reporting import Series, TextTable
+from repro.peers.threat_models import build_independent_scenario
+from repro.trust.qof import QofWeightedAggregation, feedback_quality
+from repro.utils.rng import RngStreams
+
+__all__ = ["run_qof"]
+
+
+def run_qof(
+    *,
+    n: int = 600,
+    gammas: Sequence[float] = (0.1, 0.2, 0.3, 0.4),
+    repeats: int = 3,
+    rounds: int = 3,
+) -> ExperimentResult:
+    """Sweep the malicious fraction; compare plain vs QoF-weighted aggregation."""
+    table = TextTable(
+        [
+            "gamma",
+            "rms_plain",
+            "rms_qof",
+            "gap_vs_truth",
+            "gap_self",
+        ],
+        title=f"QoF extension: RMS error and witness discrimination (n={n})",
+        float_fmt=".3g",
+    )
+    plain_series = Series(label="plain aggregation")
+    qof_series = Series(label="QoF-weighted aggregation")
+    raw = {}
+    for gamma in gammas:
+        rms_plain, rms_qof, gap_truth, gap_self = [], [], [], []
+        for seed in seed_range(repeats):
+            streams = RngStreams(seed)
+            sc = build_independent_scenario(n, gamma, rng=streams.get("scenario"))
+            cfg = GossipTrustConfig(n=n, alpha=0.0, max_cycles=80, seed=seed)
+            v = exact_global_reputation(sc.S_true, cfg, raise_on_budget=False).vector
+            u_plain = exact_global_reputation(
+                sc.S_attacked, cfg, raise_on_budget=False
+            ).vector
+            result = QofWeightedAggregation(cfg, rounds=rounds).run(sc.S_attacked)
+            rms_plain.append(rms_relative_error(v, u_plain, cap=10.0))
+            rms_qof.append(rms_relative_error(v, result.reputation, cap=10.0))
+            good = sc.population.honest_nodes()
+            bad = sc.population.malicious_nodes()
+            if bad.size:
+                q_truth = feedback_quality(sc.S_attacked, v)
+                gap_truth.append(
+                    float(q_truth[good].mean() - q_truth[bad].mean())
+                )
+                gap_self.append(
+                    float(result.qof[good].mean() - result.qof[bad].mean())
+                )
+        row = [
+            gamma,
+            mean_std(rms_plain)[0],
+            mean_std(rms_qof)[0],
+            mean_std(gap_truth)[0] if gap_truth else 0.0,
+            mean_std(gap_self)[0] if gap_self else 0.0,
+        ]
+        table.add_row(row)
+        plain_series.add(gamma, row[1])
+        qof_series.add(gamma, row[2])
+        raw[gamma] = {
+            "rms_plain": row[1],
+            "rms_qof": row[2],
+            "gap_vs_truth": row[3],
+            "gap_self": row[4],
+        }
+    return ExperimentResult(
+        experiment_id="qof",
+        title="Quality-of-feedback weighting (the §7 dual-score extension)",
+        tables=[table],
+        series=[plain_series, qof_series],
+        data={f"{g:g}": v for g, v in raw.items()},
+        notes=[
+            "QoF = consensus reputation of a rater's endorsement "
+            "distribution; votes weighted by QoF in the aggregation.",
+            "Discrimination gaps are mean honest QoF minus mean "
+            "malicious QoF (positive = witnesses separable).",
+        ],
+    )

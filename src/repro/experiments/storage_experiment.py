@@ -1,0 +1,86 @@
+"""Storage efficiency — the Bloom-filter reputation store (§7 claim).
+
+Sweeps the bracket width ``b`` of the bracketed Bloom store over a
+realistic (power-law) reputation vector and reports, per setting, the
+memory footprint against a raw score table, the quantization error, and
+the misbracket rate from Bloom false positives.  The claim being
+checked: order-of-magnitude compression at a relative score error small
+enough not to disturb top-k peer selection.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.aggregation import exact_global_reputation
+from repro.core.config import GossipTrustConfig
+from repro.experiments.base import ExperimentResult, mean_std, seed_range
+from repro.experiments.synthetic import synthetic_trust_matrix
+from repro.metrics.errors import rank_overlap
+from repro.metrics.reporting import Series, TextTable
+from repro.storage.reputation_store import BloomReputationStore
+from repro.utils.rng import RngStreams
+
+__all__ = ["run_storage"]
+
+
+def run_storage(
+    *,
+    n: int = 1000,
+    bracket_bits: Sequence[int] = (3, 4, 5, 6, 8),
+    repeats: int = 3,
+    top_k: int = 10,
+) -> ExperimentResult:
+    """Sweep bracket bits; report compression, error, and top-k fidelity."""
+    table = TextTable(
+        [
+            "bracket_bits",
+            "compression",
+            "mean_rel_error",
+            "max_rel_error",
+            "misbracket_rate",
+            f"top{top_k}_overlap",
+        ],
+        title=f"Bloom reputation store: memory vs accuracy (n={n})",
+        float_fmt=".3g",
+    )
+    series = Series(label="mean relative error")
+    comp_series = Series(label="compression ratio")
+    raw = {}
+    for bits in bracket_bits:
+        comp, mean_err, max_err, misb, overlap = [], [], [], [], []
+        for seed in seed_range(repeats):
+            streams = RngStreams(seed)
+            S = synthetic_trust_matrix(n, rng=streams.get("matrix"))
+            v = exact_global_reputation(S, GossipTrustConfig(n=n)).vector
+            store = BloomReputationStore(bracket_bits=bits)
+            store.build(v)
+            report = store.report()
+            comp.append(report.compression_ratio)
+            mean_err.append(report.mean_relative_error)
+            max_err.append(report.max_relative_error)
+            misb.append(report.misbracket_rate)
+            overlap.append(rank_overlap(v, store.lookup_vector(n), top_k))
+        row = [
+            bits,
+            mean_std(comp)[0],
+            mean_std(mean_err)[0],
+            mean_std(max_err)[0],
+            mean_std(misb)[0],
+            mean_std(overlap)[0],
+        ]
+        table.add_row(row)
+        series.add(bits, row[2])
+        comp_series.add(bits, row[1])
+        raw[bits] = {
+            "compression": row[1],
+            "mean_rel_error": row[2],
+            "top_k_overlap": row[5],
+        }
+    return ExperimentResult(
+        experiment_id="storage",
+        title="Reputation storage efficiency with bracketed Bloom filters",
+        tables=[table],
+        series=[series, comp_series],
+        data={str(k): v for k, v in raw.items()},
+    )

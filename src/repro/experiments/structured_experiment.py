@@ -1,0 +1,74 @@
+"""Structured acceleration experiment — §7's "can perform even better".
+
+Compares, across network sizes, the per-cycle cost of the unstructured
+push-sum gossip (steps to the epsilon criterion) against the
+DHT-ordered deterministic all-reduce (exactly ceil(log2 n) rounds, zero
+residual error).  Expected shape: the structured variant needs ~5x
+fewer rounds and is exact — quantifying what the fast hashing/search of
+a DHT buys, and by contrast what the unstructured protocol pays for
+needing no structure.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.experiments.base import ExperimentResult, mean_std, seed_range
+from repro.experiments.synthetic import synthetic_trust_matrix
+from repro.gossip.engine import SynchronousGossipEngine
+from repro.metrics.reporting import Series, TextTable
+from repro.utils.rng import RngStreams
+
+__all__ = ["run_structured"]
+
+
+def run_structured(
+    *,
+    sizes: Sequence[int] = (250, 500, 1000, 2000),
+    epsilon: float = 1e-4,
+    repeats: int = 3,
+) -> ExperimentResult:
+    """Sweep n; measure per-cycle rounds for both aggregation styles."""
+    table = TextTable(
+        ["n", "gossip_steps", "structured_rounds", "speedup", "gossip_error"],
+        title=f"Unstructured push-sum vs DHT all-reduce (epsilon={epsilon:g})",
+        float_fmt=".4g",
+    )
+    gossip_series = Series(label="unstructured gossip")
+    struct_series = Series(label="structured all-reduce")
+    raw = {}
+    for n in sizes:
+        steps_l, err_l = [], []
+        for seed in seed_range(repeats):
+            streams = RngStreams(seed)
+            S = synthetic_trust_matrix(n, rng=streams.get("matrix"))
+            engine = SynchronousGossipEngine(
+                n, epsilon=epsilon, mode="probe", probe_columns=64,
+                rng=streams.get("gossip"),
+            )
+            v = np.full(n, 1.0 / n)
+            res = engine.run_cycle(S, v)
+            steps_l.append(float(res.steps))
+            err_l.append(res.gossip_error)
+        rounds = int(math.ceil(math.log2(n)))
+        g_steps = mean_std(steps_l)[0]
+        table.add_row([n, g_steps, rounds, g_steps / rounds, mean_std(err_l)[0]])
+        gossip_series.add(n, g_steps)
+        struct_series.add(n, rounds)
+        raw[n] = {"gossip_steps": g_steps, "structured_rounds": rounds}
+    return ExperimentResult(
+        experiment_id="structured",
+        title="Per-cycle aggregation cost: unstructured gossip vs "
+        "DHT-ordered all-reduce",
+        tables=[table],
+        series=[gossip_series, struct_series],
+        data={str(k): v for k, v in raw.items()},
+        notes=[
+            "The structured variant is exact (zero gossip error) but "
+            "requires a ring ordering every peer agrees on — the very "
+            "assumption unstructured networks cannot make (§1).",
+        ],
+    )

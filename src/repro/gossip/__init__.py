@@ -1,0 +1,42 @@
+"""Gossip aggregation protocols (the paper's §4-§5).
+
+* :mod:`repro.gossip.pushsum` — Algorithm 1: Kempe-style push-sum for a
+  single peer's score, both a vectorized simulation and a step-scripted
+  variant that replays the paper's Table 1 worked example exactly.
+* :mod:`repro.gossip.vector` — Algorithm 2 node state: the reputation
+  vector as ``<x, id, w>`` triplets, with halve/merge operations.
+* :mod:`repro.gossip.convergence` — the epsilon (gossip-step) and delta
+  (aggregation-cycle) convergence detectors.
+* :mod:`repro.gossip.engine` — synchronous vectorized gossip engine for
+  large sweeps (all nodes' state in NumPy arrays).
+* :mod:`repro.gossip.message_engine` — message-level engine on the DES
+  with latency, loss, link failure, and churn.
+"""
+
+from repro.gossip.async_engine import AsyncMessageGossipEngine
+from repro.gossip.convergence import (
+    CycleConvergenceDetector,
+    StepConvergenceDetector,
+    average_relative_error,
+)
+from repro.gossip.engine import GossipCycleResult, SynchronousGossipEngine
+from repro.gossip.message_engine import MessageGossipEngine, MessageGossipResult
+from repro.gossip.pushsum import PushSumResult, push_sum, scripted_push_sum
+from repro.gossip.structured import StructuredAggregationEngine
+from repro.gossip.vector import TripletVector
+
+__all__ = [
+    "push_sum",
+    "scripted_push_sum",
+    "PushSumResult",
+    "TripletVector",
+    "StepConvergenceDetector",
+    "CycleConvergenceDetector",
+    "average_relative_error",
+    "SynchronousGossipEngine",
+    "GossipCycleResult",
+    "MessageGossipEngine",
+    "MessageGossipResult",
+    "AsyncMessageGossipEngine",
+    "StructuredAggregationEngine",
+]

@@ -1,0 +1,120 @@
+"""Convergence detection for gossip steps and aggregation cycles.
+
+Two nested criteria (Fig. 1(b)):
+
+* **epsilon** — within an aggregation cycle, gossip steps continue until
+  every node's estimate moves by at most the gossip error threshold
+  ``epsilon`` in one step (Algorithm 1 line 14).
+* **delta** — aggregation cycles continue until the *average relative
+  error* between ``V(t)`` and ``V(t-1)`` drops below the aggregation
+  threshold ``delta`` (§4.1 / Algorithm 2 line 25).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.utils.validation import check_in_range
+
+__all__ = [
+    "average_relative_error",
+    "StepConvergenceDetector",
+    "CycleConvergenceDetector",
+]
+
+
+def average_relative_error(new: np.ndarray, old: np.ndarray, *, floor: float = 1e-15) -> float:
+    """Mean of ``|new_i - old_i| / max(old_i, floor)`` over all components.
+
+    The paper's cycle criterion ("average relative error between V(d)
+    and V(d+1)").  ``floor`` guards division when a score is (numerically)
+    zero; reputation scores are probabilities so genuine zeros only occur
+    for peers nobody rated.
+    """
+    a = np.asarray(new, dtype=np.float64)
+    b = np.asarray(old, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValidationError(f"shape mismatch: {a.shape} vs {b.shape}")
+    denom = np.maximum(np.abs(b), floor)
+    return float(np.mean(np.abs(a - b) / denom))
+
+
+class StepConvergenceDetector:
+    """Per-gossip-step epsilon criterion over per-node estimates.
+
+    ``update(estimates)`` returns True once the largest per-node
+    *relative* change since the previous step is <= epsilon, all
+    estimates are finite, and at least ``min_steps`` updates have been
+    observed.  The relative form keeps the criterion scale-free: global
+    scores shrink like 1/n, so an absolute threshold would demand very
+    different precision at different network sizes.
+    """
+
+    def __init__(self, epsilon: float, *, min_steps: int = 1):
+        check_in_range("epsilon", epsilon, low=0.0, low_inclusive=False)
+        if min_steps < 0:
+            raise ValidationError(f"min_steps must be >= 0, got {min_steps}")
+        self.epsilon = float(epsilon)
+        self.min_steps = int(min_steps)
+        self._prev: Optional[np.ndarray] = None
+        self.steps = 0
+        self.last_residual = float("inf")
+
+    def update(self, estimates: np.ndarray) -> bool:
+        """Feed this step's estimates; returns convergence verdict."""
+        est = np.asarray(estimates, dtype=np.float64)
+        converged = False
+        if self._prev is not None and est.shape == self._prev.shape:
+            if np.all(np.isfinite(est)) and np.all(np.isfinite(self._prev)):
+                rel = np.abs(est - self._prev) / np.maximum(np.abs(self._prev), 1e-12)
+                self.last_residual = float(rel.max())
+                converged = self.steps >= self.min_steps and self.last_residual <= self.epsilon
+        self._prev = est.copy()
+        self.steps += 1
+        return converged
+
+    def reset(self) -> None:
+        """Forget history (new aggregation cycle)."""
+        self._prev = None
+        self.steps = 0
+        self.last_residual = float("inf")
+
+
+class CycleConvergenceDetector:
+    """Per-aggregation-cycle delta criterion on the reputation vector."""
+
+    def __init__(self, delta: float, *, metric: str = "avg_relative"):
+        check_in_range("delta", delta, low=0.0, low_inclusive=False)
+        if metric not in ("avg_relative", "l1", "linf"):
+            raise ValidationError(f"unknown cycle metric {metric!r}")
+        self.delta = float(delta)
+        self.metric = metric
+        self._prev: Optional[np.ndarray] = None
+        self.cycles = 0
+        self.last_residual = float("inf")
+
+    def _distance(self, new: np.ndarray, old: np.ndarray) -> float:
+        if self.metric == "avg_relative":
+            return average_relative_error(new, old)
+        diff = np.abs(new - old)
+        return float(diff.sum()) if self.metric == "l1" else float(diff.max())
+
+    def update(self, vector: np.ndarray) -> bool:
+        """Feed this cycle's vector; returns convergence verdict."""
+        v = np.asarray(vector, dtype=np.float64)
+        converged = False
+        if self._prev is not None:
+            self.last_residual = self._distance(v, self._prev)
+            converged = self.last_residual < self.delta
+        self._prev = v.copy()
+        self.cycles += 1
+        return converged
+
+    def reset(self) -> None:
+        """Forget history (fresh aggregation)."""
+        self._prev = None
+        self.cycles = 0
+        self.last_residual = float("inf")

@@ -1,0 +1,234 @@
+"""Algorithm 1 — push-sum gossip for a single peer's global score.
+
+Every node ``i`` holds a pair ``(x_i, w_i)``.  Per step it keeps half of
+each and sends the other half to one uniformly random node; received
+halves are summed (Eqs. 3-4).  The column sums ``sum_i x_i`` and
+``sum_i w_i`` are invariant (mass conservation), and each node's ratio
+``beta_i = x_i / w_i`` converges exponentially fast to
+``sum x / sum w`` — which, with ``x_i(0) = s_ij * v_i(t)`` and
+``w_i(0) = [i == j]``, is exactly ``v_j(t+1)`` of Eq. 2.
+
+Two entry points:
+
+* :func:`push_sum` — random-partner simulation of one scalar aggregation,
+  vectorized over all nodes.
+* :func:`scripted_push_sum` — partners supplied per step, used to replay
+  the paper's Fig. 2 / Table 1 three-node worked example bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConvergenceError, ValidationError
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_in_range, check_vector
+
+__all__ = ["PushSumResult", "push_sum", "scripted_push_sum", "push_sum_step"]
+
+#: floor for relative-change denominators; genuine zero estimates (peers
+#: with no inbound trust mass) compare as absolute changes against this
+_REL_FLOOR = 1e-12
+
+
+@dataclass
+class PushSumResult:
+    """Outcome of a push-sum run.
+
+    Attributes
+    ----------
+    estimates:
+        Per-node gossiped scores ``beta_i = x_i / w_i`` at termination.
+    steps:
+        Gossip steps executed.
+    converged:
+        Whether the epsilon criterion was met within the step budget.
+    x, w:
+        Final per-node masses (exposed for invariant checks).
+    history:
+        Optional per-step snapshots of ``(x, w)`` (only when recorded).
+    """
+
+    estimates: np.ndarray
+    steps: int
+    converged: bool
+    x: np.ndarray
+    w: np.ndarray
+    history: List[Tuple[np.ndarray, np.ndarray]] = field(default_factory=list)
+
+    @property
+    def value(self) -> float:
+        """The consensus estimate (node-wise mean of finite estimates)."""
+        finite = self.estimates[np.isfinite(self.estimates)]
+        if finite.size == 0:
+            return float("nan")
+        return float(finite.mean())
+
+
+def push_sum_step(
+    x: np.ndarray, w: np.ndarray, targets: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """One synchronous push-sum step given each node's chosen target.
+
+    Node ``i`` keeps ``(x_i/2, w_i/2)`` and delivers the other half to
+    ``targets[i]``.  Implemented as a scatter-add so a step over all
+    nodes is O(n) with no Python loop.
+    """
+    n = x.shape[0]
+    if targets.shape != (n,):
+        raise ValidationError(f"targets must have shape ({n},), got {targets.shape}")
+    half_x = 0.5 * x
+    half_w = 0.5 * w
+    new_x = half_x.copy()
+    new_w = half_w.copy()
+    np.add.at(new_x, targets, half_x)
+    np.add.at(new_w, targets, half_w)
+    return new_x, new_w
+
+
+def _estimates(x: np.ndarray, w: np.ndarray) -> np.ndarray:
+    """Per-node beta = x/w with 0/0 -> nan and x/0 -> inf, silently."""
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return np.where(w > 0, x / np.where(w > 0, w, 1.0), np.where(x > 0, np.inf, np.nan))
+
+
+def push_sum(
+    x0: np.ndarray,
+    w0: np.ndarray,
+    *,
+    epsilon: float = 1e-4,
+    max_steps: int = 10_000,
+    min_steps: int = 1,
+    stable_steps: int = 2,
+    rng: SeedLike = None,
+    record_history: bool = False,
+    raise_on_budget: bool = True,
+) -> PushSumResult:
+    """Run push-sum with uniform random partners until the epsilon criterion.
+
+    Termination follows Algorithm 1 line 14 with a *relative* reading:
+    every node's estimate must move by at most a ``epsilon`` fraction of
+    its previous value across one step, *and* every node must hold
+    positive consensus mass (``w_i > 0``) so its estimate is defined.
+    The relative form keeps the criterion scale-free — global scores
+    shrink as ``1/n``, so an absolute threshold would mean wildly
+    different precision at different network sizes.  ``min_steps``
+    guards against vacuous convergence at step 0, and the criterion must
+    hold for ``stable_steps`` *consecutive* steps: a single quiet step
+    can be a coincidence (e.g. two nodes swapping equal shares leaves
+    every estimate unchanged without any convergence), which small
+    networks do hit in practice.
+
+    Parameters
+    ----------
+    x0, w0:
+        Initial weighted-score and consensus-factor masses; ``w0`` must
+        carry positive total mass.
+    epsilon:
+        Gossip error threshold (Table 2 default: ``1e-4``).
+    max_steps:
+        Step budget; exceeding it raises :class:`ConvergenceError`
+        unless ``raise_on_budget=False``.
+    rng:
+        Partner-choice randomness.
+    record_history:
+        Keep per-step ``(x, w)`` snapshots (tests and the worked example).
+
+    Returns
+    -------
+    PushSumResult
+    """
+    x = check_vector("x0", np.asarray(x0, dtype=np.float64))
+    n = x.shape[0]
+    w = check_vector("w0", np.asarray(w0, dtype=np.float64), size=n)
+    if np.any(x < 0) or np.any(w < 0):
+        raise ValidationError("push-sum masses must be non-negative")
+    if w.sum() <= 0:
+        raise ValidationError("total consensus mass must be positive")
+    check_in_range("epsilon", epsilon, low=0.0, low_inclusive=False)
+    if n == 1:
+        est = _estimates(x, w)
+        return PushSumResult(estimates=est, steps=0, converged=True, x=x, w=w)
+    if stable_steps < 1:
+        raise ValidationError(f"stable_steps must be >= 1, got {stable_steps}")
+    gen = as_generator(rng)
+
+    history: List[Tuple[np.ndarray, np.ndarray]] = []
+    prev = _estimates(x, w)
+    ids = np.arange(n)
+    quiet = 0
+    for step in range(1, max_steps + 1):
+        targets = gen.integers(0, n - 1, size=n)
+        targets[targets >= ids] += 1  # uniform over others, never self
+        x, w = push_sum_step(x, w, targets)
+        if record_history:
+            history.append((x.copy(), w.copy()))
+        est = _estimates(x, w)
+        if step >= min_steps and np.all(w > 0):
+            # Relative per-step change (scale-free in n): |beta - u| / u.
+            # inf/nan in prev (nodes without w mass last step) propagate
+            # into delta and correctly block convergence below.
+            with np.errstate(invalid="ignore"):
+                delta = np.abs(est - prev) / np.maximum(np.abs(prev), _REL_FLOOR)
+            if np.all(np.isfinite(delta)) and float(delta.max()) <= epsilon:
+                quiet += 1
+                if quiet >= stable_steps:
+                    return PushSumResult(
+                        estimates=est, steps=step, converged=True, x=x, w=w, history=history
+                    )
+            else:
+                quiet = 0
+        prev = est
+    if raise_on_budget:
+        with np.errstate(invalid="ignore"):
+            residual = float(np.nanmax(np.abs(_estimates(x, w) - prev)))
+        raise ConvergenceError(
+            f"push-sum did not converge within {max_steps} steps (epsilon={epsilon})",
+            steps=max_steps,
+            residual=residual,
+        )
+    return PushSumResult(
+        estimates=_estimates(x, w), steps=max_steps, converged=False, x=x, w=w, history=history
+    )
+
+
+def scripted_push_sum(
+    x0: Sequence[float],
+    w0: Sequence[float],
+    partner_script: Sequence[Sequence[int]],
+) -> PushSumResult:
+    """Push-sum with an explicit partner choice per node per step.
+
+    ``partner_script[k][i]`` is the node that ``i`` sends its half-share
+    to at step ``k+1``.  Used to replay deterministic examples — the
+    paper's Fig. 2 / Table 1 run is ``[[2, 0, 0], [1, 2, 1]]``.
+    """
+    x = np.asarray(x0, dtype=np.float64)
+    w = np.asarray(w0, dtype=np.float64)
+    if x.shape != w.shape or x.ndim != 1:
+        raise ValidationError("x0 and w0 must be equal-length vectors")
+    n = x.shape[0]
+    history: List[Tuple[np.ndarray, np.ndarray]] = []
+    for step_partners in partner_script:
+        targets = np.asarray(step_partners, dtype=np.int64)
+        if targets.shape != (n,):
+            raise ValidationError(
+                f"each script step needs {n} partners, got {targets.shape}"
+            )
+        if np.any(targets < 0) or np.any(targets >= n):
+            raise ValidationError("partner ids out of range")
+        if np.any(targets == np.arange(n)):
+            raise ValidationError("a node cannot choose itself as the random partner")
+        x, w = push_sum_step(x, w, targets)
+        history.append((x.copy(), w.copy()))
+    return PushSumResult(
+        estimates=_estimates(x, w),
+        steps=len(history),
+        converged=True,
+        x=x,
+        w=w,
+        history=history,
+    )

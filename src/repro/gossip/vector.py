@@ -1,0 +1,143 @@
+"""Algorithm 2 node state: the reputation vector as ``<x, id, w>`` triplets.
+
+During an aggregation cycle every node carries the *entire* global
+reputation vector in gossiped form — one triplet per peer id.  A gossip
+step halves the whole vector, sends one half to a random partner, keeps
+the other, and merges arriving halves component-wise (Algorithm 2 lines
+12-19).  This class is the per-node data structure used by the
+message-level engine; the vectorized engine flattens the same state into
+arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Mapping, Tuple
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.types import Triplet
+
+__all__ = ["TripletVector"]
+
+
+class TripletVector:
+    """A node's gossiped reputation vector: ``{peer id -> (x, w)}``.
+
+    The vector is sparse in ids — entries a node has never heard about
+    are absent (their implied mass is zero), which is what keeps
+    per-message payloads proportional to the number of *known* peers.
+    """
+
+    __slots__ = ("_x", "_w")
+
+    def __init__(self) -> None:
+        self._x: Dict[int, float] = {}
+        self._w: Dict[int, float] = {}
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def initial(
+        cls, owner: int, local_scores: Mapping[int, float], prior: Mapping[int, float]
+    ) -> "TripletVector":
+        """Cycle initialization (Algorithm 2 lines 5-11) for node ``owner``.
+
+        ``x_j <- s_{owner,j} * v_owner(t-1)`` for every peer ``owner``
+        has rated, and ``w_j <- 1`` only for ``j == owner``.
+
+        Parameters
+        ----------
+        owner:
+            The node this vector lives on.
+        local_scores:
+            Sparse normalized row ``{j: s_owner_j}``.
+        prior:
+            Previous-cycle reputation estimates ``{i: v_i(t-1)}``; only
+            ``prior[owner]`` is needed here, passed as a mapping for
+            symmetry with the engines.
+        """
+        tv = cls()
+        v_own = float(prior.get(owner, 0.0))
+        for j, s in local_scores.items():
+            if s < 0:
+                raise ValidationError(f"negative local score s[{owner},{j}]={s}")
+            if s > 0 and v_own > 0:
+                tv._x[j] = s * v_own
+        tv._w[owner] = 1.0
+        return tv
+
+    # -- gossip operations ---------------------------------------------------
+
+    def halve(self) -> "TripletVector":
+        """Split in place; return the half-share to transmit.
+
+        After the call, *this* vector holds the kept half and the
+        returned vector holds the sent half (they are equal).
+        """
+        sent = TripletVector()
+        for j in self._x:
+            self._x[j] *= 0.5
+        for j in self._w:
+            self._w[j] *= 0.5
+        sent._x = dict(self._x)
+        sent._w = dict(self._w)
+        return sent
+
+    def merge(self, other: "TripletVector") -> None:
+        """Component-wise sum of an arriving half-share (line 15)."""
+        for j, xv in other._x.items():
+            self._x[j] = self._x.get(j, 0.0) + xv
+        for j, wv in other._w.items():
+            self._w[j] = self._w.get(j, 0.0) + wv
+
+    # -- accessors ------------------------------------------------------------
+
+    def triplet(self, j: int) -> Triplet:
+        """The ``<x_j, j, w_j>`` triplet (zeros if unknown)."""
+        return Triplet(x=self._x.get(j, 0.0), node=j, w=self._w.get(j, 0.0))
+
+    def estimate(self, j: int) -> float:
+        """Gossiped score ``beta_j = x_j / w_j`` for peer ``j``."""
+        return self.triplet(j).estimate
+
+    def known_ids(self) -> Tuple[int, ...]:
+        """Peer ids with any mass (x or w) at this node, ascending."""
+        return tuple(sorted(set(self._x) | set(self._w)))
+
+    def estimates_array(self, n: int) -> np.ndarray:
+        """Dense length-``n`` estimate vector (nan where w == 0 and x == 0)."""
+        out = np.full(n, np.nan)
+        for j in range(n):
+            w = self._w.get(j, 0.0)
+            x = self._x.get(j, 0.0)
+            if w > 0:
+                out[j] = x / w
+            elif x > 0:
+                out[j] = np.inf
+        return out
+
+    def mass(self) -> Tuple[float, float]:
+        """Total ``(sum x, sum w)`` held at this node (conservation checks)."""
+        return (float(sum(self._x.values())), float(sum(self._w.values())))
+
+    def payload_size(self) -> int:
+        """Triplet count — proxy for message size in overhead accounting."""
+        return len(set(self._x) | set(self._w))
+
+    def copy(self) -> "TripletVector":
+        """Deep copy."""
+        tv = TripletVector()
+        tv._x = dict(self._x)
+        tv._w = dict(self._w)
+        return tv
+
+    def __iter__(self) -> Iterator[Triplet]:
+        for j in self.known_ids():
+            yield self.triplet(j)
+
+    def __len__(self) -> int:
+        return self.payload_size()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"TripletVector(known={len(self)})"

@@ -1,0 +1,22 @@
+"""Evaluation metrics: error measures (Eq. 8), ranking quality, reporting."""
+
+from repro.metrics.convergence import theoretical_cycle_bound
+from repro.metrics.errors import (
+    l1_error,
+    linf_error,
+    rank_overlap,
+    kendall_tau,
+    rms_relative_error,
+)
+from repro.metrics.reporting import Series, TextTable
+
+__all__ = [
+    "rms_relative_error",
+    "l1_error",
+    "linf_error",
+    "kendall_tau",
+    "rank_overlap",
+    "theoretical_cycle_bound",
+    "TextTable",
+    "Series",
+]

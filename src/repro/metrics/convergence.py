@@ -1,0 +1,66 @@
+"""Convergence accounting and the paper's theoretical cycle bound.
+
+§4.1 cites the PowerTrust proof that the number of aggregation cycles
+satisfies ``d <= ceil(log_b delta)`` with ``b = lambda_2 / lambda_1`` of
+the trust matrix.  :func:`theoretical_cycle_bound` evaluates that bound
+so experiments can report measured-vs-predicted cycle counts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.trust.matrix import TrustMatrix
+
+__all__ = ["theoretical_cycle_bound", "StepStats"]
+
+
+def theoretical_cycle_bound(S: TrustMatrix, delta: float) -> int:
+    """``ceil(log_b delta)`` with ``b = lambda_2/lambda_1`` (§4.1).
+
+    Returns a large sentinel (10_000) when the spectral gap is
+    degenerate (``lambda_2`` ~ ``lambda_1`` or ~0), where the bound is
+    uninformative.
+    """
+    if not delta > 0:
+        raise ValidationError(f"delta must be > 0, got {delta}")
+    lam1, lam2 = S.spectral_gap()
+    if lam1 <= 0 or lam2 <= 0:
+        return 1
+    b = lam2 / lam1
+    if b >= 1.0 - 1e-12:
+        return 10_000
+    return int(math.ceil(math.log(delta) / math.log(b)))
+
+
+@dataclass
+class StepStats:
+    """Summary statistics of a collection of step/cycle counts."""
+
+    mean: float
+    std: float
+    minimum: int
+    maximum: int
+    count: int
+
+    @classmethod
+    def from_counts(cls, counts: Sequence[int]) -> "StepStats":
+        """Summarize raw counts (e.g. per-cycle gossip steps)."""
+        if len(counts) == 0:
+            raise ValidationError("cannot summarize an empty count list")
+        arr = np.asarray(counts, dtype=np.float64)
+        return cls(
+            mean=float(arr.mean()),
+            std=float(arr.std()),
+            minimum=int(arr.min()),
+            maximum=int(arr.max()),
+            count=int(arr.size),
+        )
+
+    def __str__(self) -> str:
+        return f"{self.mean:.1f} ± {self.std:.1f} (min {self.minimum}, max {self.maximum})"

@@ -1,0 +1,171 @@
+"""Message transport over the discrete-event simulator.
+
+Models the properties the paper's robustness claims depend on:
+
+* per-message latency drawn from a configurable distribution,
+* independent message loss with probability ``loss_rate``,
+* explicit *link failures*: a failed (u, v) link drops every message
+  between u and v until it heals (§7 claims tolerance to link failures —
+  the gossip protocol needs no error recovery because push-sum mass that
+  is lost only perturbs, never corrupts, the converged ratio when the
+  self-half is kept locally).
+
+Delivery is a callback: the receiving protocol registers a handler and
+the transport invokes it at the message's arrival time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Set, Tuple
+
+from repro.errors import ValidationError
+from repro.sim.engine import Simulator
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_non_negative, check_probability
+
+__all__ = ["Message", "LinkFailureModel", "Transport"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """An application message in flight."""
+
+    src: int
+    dst: int
+    payload: Any
+    kind: str = "data"
+    sent_at: float = 0.0
+
+
+class LinkFailureModel:
+    """Tracks failed undirected links and schedules their repair.
+
+    ``fail(u, v, duration)`` marks the link down; if ``duration`` is
+    given the transport's simulator heals it automatically.
+    """
+
+    def __init__(self) -> None:
+        self._down: Set[Tuple[int, int]] = set()
+        self.failures_injected = 0
+
+    @staticmethod
+    def _key(u: int, v: int) -> Tuple[int, int]:
+        return (u, v) if u <= v else (v, u)
+
+    def fail(self, u: int, v: int) -> None:
+        """Mark link ``{u, v}`` as failed."""
+        self._down.add(self._key(u, v))
+        self.failures_injected += 1
+
+    def heal(self, u: int, v: int) -> None:
+        """Restore link ``{u, v}`` (no-op if it was up)."""
+        self._down.discard(self._key(u, v))
+
+    def is_down(self, u: int, v: int) -> bool:
+        """Whether link ``{u, v}`` is currently failed."""
+        return self._key(u, v) in self._down
+
+    @property
+    def down_count(self) -> int:
+        """Number of currently failed links."""
+        return len(self._down)
+
+
+class Transport:
+    """Unreliable message transport bound to a :class:`Simulator`.
+
+    Parameters
+    ----------
+    sim:
+        The event kernel that drives delivery timing.
+    latency:
+        Mean one-way latency; actual latency is uniform in
+        ``[0.5 * latency, 1.5 * latency]`` (a simple jitter model).
+    loss_rate:
+        Independent per-message drop probability.
+    rng:
+        Seed/generator for latency jitter and loss coin flips.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: float = 1.0,
+        loss_rate: float = 0.0,
+        rng: SeedLike = None,
+    ):
+        check_non_negative("latency", latency)
+        check_probability("loss_rate", loss_rate)
+        self.sim = sim
+        self.latency = float(latency)
+        self.loss_rate = float(loss_rate)
+        self.links = LinkFailureModel()
+        self._rng = as_generator(rng)
+        self._handlers: Dict[int, Callable[[Message], None]] = {}
+        # Counters for overhead accounting (the paper's "light-weight
+        # communication" claim is assessed with these).
+        self.sent = 0
+        self.delivered = 0
+        self.dropped_loss = 0
+        self.dropped_link = 0
+        self.dropped_unregistered = 0
+        self.bytes_sent = 0
+
+    def register(self, node: int, handler: Callable[[Message], None]) -> None:
+        """Install the delivery handler for ``node`` (replaces any prior)."""
+        self._handlers[node] = handler
+
+    def unregister(self, node: int) -> None:
+        """Remove ``node``'s handler; in-flight messages to it are dropped."""
+        self._handlers.pop(node, None)
+
+    def send(self, src: int, dst: int, payload: Any, *, kind: str = "data", size: int = 0) -> bool:
+        """Queue a message; returns False if dropped at send time.
+
+        Loss and link failure are evaluated at send time (a failed link
+        drops deterministically; random loss by coin flip).  Delivery —
+        if the message survives — happens after jittered latency, and is
+        also dropped if the destination unregistered meanwhile (peer
+        departed during flight).
+        """
+        if src == dst:
+            raise ValidationError("transport does not loop back; handle self-delivery locally")
+        self.sent += 1
+        self.bytes_sent += size
+        if self.links.is_down(src, dst):
+            self.dropped_link += 1
+            return False
+        if self.loss_rate > 0.0 and self._rng.random() < self.loss_rate:
+            self.dropped_loss += 1
+            return False
+        msg = Message(src=src, dst=dst, payload=payload, kind=kind, sent_at=self.sim.now)
+        delay = self.latency * (0.5 + self._rng.random()) if self.latency > 0 else 0.0
+        self.sim.call_in(delay, self._deliver, msg)
+        return True
+
+    def fail_link(self, u: int, v: int, duration: Optional[float] = None) -> None:
+        """Fail link ``{u, v}``, auto-healing after ``duration`` if given."""
+        self.links.fail(u, v)
+        if duration is not None:
+            check_non_negative("duration", duration)
+            self.sim.call_in(duration, self.links.heal, u, v)
+
+    def _deliver(self, msg: Message) -> None:
+        handler = self._handlers.get(msg.dst)
+        if handler is None:
+            self.dropped_unregistered += 1
+            return
+        self.delivered += 1
+        handler(msg)
+
+    @property
+    def drop_count(self) -> int:
+        """Total messages dropped for any reason."""
+        return self.dropped_loss + self.dropped_link + self.dropped_unregistered
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"Transport(sent={self.sent}, delivered={self.delivered}, "
+            f"dropped={self.drop_count})"
+        )

@@ -1,0 +1,28 @@
+"""Peer behavior and threat models.
+
+§6.1 studies two malicious settings: *independent* (peers cheat in
+transactions and invert their feedback) and *collusive* (groups rate
+each other very high and outsiders very low).  This package builds peer
+populations with those behaviors and synthesizes the honest/attacked
+trust-matrix pairs the Fig. 4 error analyses compare.
+"""
+
+from repro.peers.behavior import (
+    PeerPopulation,
+    rate_transaction,
+    reputation_inverse_rate,
+)
+from repro.peers.threat_models import (
+    ThreatScenario,
+    build_collusive_scenario,
+    build_independent_scenario,
+)
+
+__all__ = [
+    "PeerPopulation",
+    "rate_transaction",
+    "reputation_inverse_rate",
+    "ThreatScenario",
+    "build_independent_scenario",
+    "build_collusive_scenario",
+]

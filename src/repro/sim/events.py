@@ -1,0 +1,69 @@
+"""Event primitives for the discrete-event kernel."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List
+
+from repro.errors import SimulationError
+
+__all__ = ["Event", "Timeout"]
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event starts *pending*; :meth:`succeed` (or the simulator firing a
+    scheduled timeout) moves it to *triggered*, at which point every
+    waiting process is resumed with the event's ``value``.  Triggering
+    twice is an error — that invariably indicates two owners fighting
+    over one handle.
+    """
+
+    __slots__ = ("sim", "value", "_triggered", "_callbacks")
+
+    def __init__(self, sim: "Any"):
+        self.sim = sim
+        self.value: Any = None
+        self._triggered = False
+        self._callbacks: List[Callable[["Event"], None]] = []
+
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has fired."""
+        return self._triggered
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Register ``fn`` to run when the event fires (immediately if fired)."""
+        if self._triggered:
+            fn(self)
+        else:
+            self._callbacks.append(fn)
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event now, resuming all waiters with ``value``."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self.value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(self)
+        return self
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay.
+
+    Constructed via :meth:`repro.sim.engine.Simulator.timeout`; processes
+    usually just ``yield delay`` and let the kernel build the timeout.
+    """
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Any", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"timeout delay must be >= 0, got {delay}")
+        super().__init__(sim)
+        self.delay = float(delay)
+        self.value = value
+        sim._schedule(sim.now + self.delay, self)

@@ -1,0 +1,113 @@
+"""Generator-based cooperative processes.
+
+A process body is a generator.  At each ``yield`` it hands the kernel
+one of:
+
+* a non-negative number — sleep that many simulated time units,
+* an :class:`~repro.sim.events.Event` — resume when it triggers (the
+  event's value is sent back into the generator),
+* another :class:`Process` — resume when that process finishes.
+
+A process is itself an :class:`~repro.sim.events.Event` that triggers
+with the generator's return value, so processes compose with ``yield``.
+"""
+
+from __future__ import annotations
+
+from numbers import Real
+from typing import Any, Generator
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+
+__all__ = ["Process"]
+
+
+class Process(Event):
+    """A running cooperative process (also its own completion event)."""
+
+    __slots__ = ("_generator", "_alive")
+
+    def __init__(self, sim: Any, generator: Generator[Any, Any, Any]):
+        super().__init__(sim)
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                f"process body must be a generator, got {type(generator).__name__}"
+            )
+        self._generator = generator
+        self._alive = True
+
+    @property
+    def alive(self) -> bool:
+        """Whether the process body is still executing."""
+        return self._alive
+
+    def interrupt(self, reason: Any = None) -> None:
+        """Throw :class:`ProcessInterrupt` into the process body."""
+        if not self._alive:
+            raise SimulationError("cannot interrupt a finished process")
+        try:
+            target = self._generator.throw(ProcessInterrupt(reason))
+        except (StopIteration, ProcessInterrupt) as stop:
+            self._finish(getattr(stop, "value", None))
+        else:
+            self._wait_on(target)
+
+    # -- kernel interface ----------------------------------------------
+
+    def _resume(self, value: Any) -> None:
+        """Advance the generator with ``value``; handle its next yield."""
+        if not self._alive:  # pragma: no cover - kernel never resumes dead procs
+            return
+        try:
+            target = self._generator.send(value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        self._wait_on(target)
+
+    def _wait_on(self, target: Any) -> None:
+        if isinstance(target, Event):
+            if target.triggered:
+                # Re-enter via an immediate event to keep stack depth flat.
+                ev = Event(self.sim)
+                ev.add_callback(lambda _ev: self._resume(target.value))
+                self.sim._schedule(self.sim.now, ev)
+            else:
+                target.add_callback(lambda ev: self._resume(ev.value))
+        elif isinstance(target, Real):
+            if target < 0:
+                self._crash(SimulationError(f"negative sleep: {target}"))
+                return
+            self.sim.timeout(float(target)).add_callback(
+                lambda ev: self._resume(ev.value)
+            )
+        else:
+            self._crash(
+                SimulationError(
+                    f"process yielded unsupported value {target!r}; "
+                    "yield a delay, Event, or Process"
+                )
+            )
+
+    def _finish(self, value: Any) -> None:
+        self._alive = False
+        if not self.triggered:
+            self.succeed(value)
+
+    def _crash(self, exc: Exception) -> None:
+        self._alive = False
+        self._generator.close()
+        raise exc
+
+
+class ProcessInterrupt(Exception):
+    """Raised inside a process body by :meth:`Process.interrupt`.
+
+    ``reason`` carries whatever the interrupter passed (e.g. a churn
+    model signalling departure).
+    """
+
+    def __init__(self, reason: Any = None):
+        super().__init__(reason)
+        self.reason = reason

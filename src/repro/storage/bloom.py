@@ -1,0 +1,172 @@
+"""Classic and counting Bloom filters, from scratch on NumPy bit arrays.
+
+Hash family: double hashing over two independent 64-bit digests of the
+item (Kirsch-Mitzenmacher), which provably preserves the asymptotic
+false-positive rate of ``k`` independent hashes while costing two
+hashes per operation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Hashable, Iterable, Tuple
+
+import numpy as np
+
+from repro.errors import BloomCapacityError, ValidationError
+
+__all__ = ["optimal_parameters", "BloomFilter", "CountingBloomFilter"]
+
+
+def optimal_parameters(capacity: int, error_rate: float) -> Tuple[int, int]:
+    """Optimal ``(bits m, hashes k)`` for ``capacity`` items at ``error_rate``.
+
+    Standard formulas: ``m = -n ln p / (ln 2)^2``, ``k = (m/n) ln 2``.
+    """
+    if capacity < 1:
+        raise ValidationError(f"capacity must be >= 1, got {capacity}")
+    if not 0.0 < error_rate < 1.0:
+        raise ValidationError(f"error_rate must be in (0, 1), got {error_rate}")
+    m = int(math.ceil(-capacity * math.log(error_rate) / (math.log(2) ** 2)))
+    k = max(1, int(round((m / capacity) * math.log(2))))
+    return m, k
+
+
+def _digests(item: Hashable) -> Tuple[int, int]:
+    """Two independent 64-bit digests of ``item`` (stable across runs)."""
+    raw = repr(item).encode()
+    d = hashlib.sha256(raw).digest()
+    h1 = int.from_bytes(d[:8], "big")
+    h2 = int.from_bytes(d[8:16], "big") | 1  # odd, so strides cover the table
+    return h1, h2
+
+
+class BloomFilter:
+    """A classic Bloom filter sized for ``capacity`` items at ``error_rate``.
+
+    Supports membership testing with no false negatives and a bounded
+    false-positive rate, plus union/intersection with compatible filters
+    (same parameters) — the operations the gossip layer can use to merge
+    bracket filters.
+    """
+
+    def __init__(self, capacity: int, error_rate: float = 0.01):
+        self.capacity = int(capacity)
+        self.error_rate = float(error_rate)
+        self.m, self.k = optimal_parameters(self.capacity, self.error_rate)
+        self._bits = np.zeros(self.m, dtype=bool)
+        self.count = 0
+
+    def _positions(self, item: Hashable) -> np.ndarray:
+        h1, h2 = _digests(item)
+        idx = (h1 + h2 * np.arange(self.k, dtype=np.uint64)) % np.uint64(self.m)
+        return idx.astype(np.int64)
+
+    def add(self, item: Hashable) -> None:
+        """Insert an item.  Raises :class:`BloomCapacityError` past capacity."""
+        if self.count >= self.capacity:
+            raise BloomCapacityError(
+                f"bloom filter sized for {self.capacity} items is full"
+            )
+        self._bits[self._positions(item)] = True
+        self.count += 1
+
+    def update(self, items: Iterable[Hashable]) -> None:
+        """Insert many items."""
+        for item in items:
+            self.add(item)
+
+    def __contains__(self, item: Hashable) -> bool:
+        return bool(self._bits[self._positions(item)].all())
+
+    # -- algebra --------------------------------------------------------
+
+    def _check_compatible(self, other: "BloomFilter") -> None:
+        if (self.m, self.k) != (other.m, other.k):
+            raise ValidationError(
+                "bloom filters must share (m, k) parameters to combine"
+            )
+
+    def union(self, other: "BloomFilter") -> "BloomFilter":
+        """Filter representing the union of both item sets."""
+        self._check_compatible(other)
+        out = BloomFilter(self.capacity, self.error_rate)
+        out._bits = self._bits | other._bits
+        out.count = min(self.capacity, self.count + other.count)
+        return out
+
+    # -- accounting --------------------------------------------------------
+
+    @property
+    def bits_set(self) -> int:
+        """Number of set bits."""
+        return int(self._bits.sum())
+
+    @property
+    def size_bytes(self) -> int:
+        """Nominal size of the filter in bytes (m bits, packed)."""
+        return (self.m + 7) // 8
+
+    def estimated_false_positive_rate(self) -> float:
+        """Current FP estimate ``(bits_set / m) ** k``."""
+        if self.m == 0:
+            return 1.0
+        return float((self.bits_set / self.m) ** self.k)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"BloomFilter(m={self.m}, k={self.k}, count={self.count})"
+
+
+class CountingBloomFilter:
+    """Bloom filter with small counters, supporting deletion.
+
+    Used where scores move between brackets over time: a peer's id is
+    removed from its old bracket and added to the new one.  Counters are
+    uint16 and overflow raises rather than silently corrupting.
+    """
+
+    _MAX = np.iinfo(np.uint16).max
+
+    def __init__(self, capacity: int, error_rate: float = 0.01):
+        self.capacity = int(capacity)
+        self.error_rate = float(error_rate)
+        self.m, self.k = optimal_parameters(self.capacity, self.error_rate)
+        self._counts = np.zeros(self.m, dtype=np.uint16)
+        self.count = 0
+
+    def _positions(self, item: Hashable) -> np.ndarray:
+        h1, h2 = _digests(item)
+        idx = (h1 + h2 * np.arange(self.k, dtype=np.uint64)) % np.uint64(self.m)
+        return idx.astype(np.int64)
+
+    def add(self, item: Hashable) -> None:
+        """Insert an item, incrementing its counters."""
+        if self.count >= self.capacity:
+            raise BloomCapacityError(
+                f"counting bloom filter sized for {self.capacity} items is full"
+            )
+        pos = self._positions(item)
+        if np.any(self._counts[pos] >= self._MAX):
+            raise BloomCapacityError("counting bloom filter counter overflow")
+        self._counts[pos] += 1
+        self.count += 1
+
+    def remove(self, item: Hashable) -> None:
+        """Delete a previously-added item (checked: all counters > 0)."""
+        pos = self._positions(item)
+        if np.any(self._counts[pos] == 0):
+            raise ValidationError(f"cannot remove item never added: {item!r}")
+        self._counts[pos] -= 1
+        self.count -= 1
+
+    def __contains__(self, item: Hashable) -> bool:
+        return bool((self._counts[self._positions(item)] > 0).all())
+
+    @property
+    def size_bytes(self) -> int:
+        """Nominal size in bytes (2 bytes per counter)."""
+        return 2 * self.m
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"CountingBloomFilter(m={self.m}, k={self.k}, count={self.count})"

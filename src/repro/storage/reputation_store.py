@@ -1,0 +1,187 @@
+"""Bracketed Bloom-filter reputation storage.
+
+The GossipTrust storage scheme: quantize global scores into ``2^b``
+brackets and keep one Bloom filter per bracket holding the ids of peers
+whose score falls in it.  A lookup probes brackets best-first and
+returns the representative score of the first bracket containing the
+id.  Errors are bounded by (a) the bracket width and (b) Bloom false
+positives, both measurable via :meth:`BloomReputationStore.report`.
+
+Brackets are geometric: reputation scores are power-law distributed
+(most mass on few peers), so equal-width linear brackets would put
+almost every peer in bracket 0.  The top bracket edge is the maximum
+observed score; the bottom edge is ``min_score`` (scores below it share
+the lowest bracket).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.storage.bloom import BloomFilter
+
+__all__ = ["StorageReport", "BloomReputationStore"]
+
+
+@dataclass(frozen=True)
+class StorageReport:
+    """Memory and accuracy accounting of a store snapshot."""
+
+    #: total bloom bytes across brackets
+    bloom_bytes: int
+    #: bytes a raw (id, float64) table would need for the same peers
+    raw_bytes: int
+    #: mean absolute relative error of retrieved vs stored scores
+    mean_relative_error: float
+    #: worst-case relative error observed
+    max_relative_error: float
+    #: fraction of lookups answered from a wrong (false-positive) bracket
+    misbracket_rate: float
+
+    @property
+    def compression_ratio(self) -> float:
+        """raw_bytes / bloom_bytes (> 1 means the store saves memory)."""
+        if self.bloom_bytes == 0:
+            return float("inf")
+        return self.raw_bytes / self.bloom_bytes
+
+
+class BloomReputationStore:
+    """Stores one reputation vector as per-bracket Bloom filters.
+
+    Parameters
+    ----------
+    bracket_bits:
+        ``b``; the store uses ``2^b`` geometric brackets.
+    error_rate:
+        Per-bracket Bloom false-positive target.
+    min_score:
+        Lower edge of the lowest bracket (scores are probabilities of
+        magnitude ~1/n; the default covers n up to 10^9).
+    """
+
+    def __init__(
+        self,
+        bracket_bits: int = 5,
+        *,
+        error_rate: float = 0.01,
+        min_score: float = 1e-9,
+    ):
+        if not 1 <= bracket_bits <= 16:
+            raise ValidationError(f"bracket_bits must be in [1, 16], got {bracket_bits}")
+        if not min_score > 0:
+            raise ValidationError(f"min_score must be > 0, got {min_score}")
+        self.bracket_bits = int(bracket_bits)
+        self.brackets = 1 << self.bracket_bits
+        self.error_rate = float(error_rate)
+        self.min_score = float(min_score)
+        self._filters: List[BloomFilter] = []
+        self._edges: Optional[np.ndarray] = None
+        self._stored: Dict[int, float] = {}  # kept only for report(); not "used" by lookups
+
+    # -- building ----------------------------------------------------------
+
+    def build(self, scores: np.ndarray) -> None:
+        """(Re)build the store from a full reputation vector."""
+        v = np.asarray(scores, dtype=np.float64)
+        if v.ndim != 1 or v.size == 0:
+            raise ValidationError("scores must be a non-empty 1-D vector")
+        if np.any(v < 0):
+            raise ValidationError("reputation scores are non-negative")
+        top = float(v.max())
+        if top <= self.min_score:
+            top = self.min_score * 10.0
+        # Geometric edges from min_score to top, brackets+1 edges.
+        self._edges = np.geomspace(self.min_score, top, self.brackets + 1)
+        per_bracket = np.zeros(self.brackets, dtype=np.int64)
+        assignment = self._bracket_of(v)
+        for b in assignment:
+            per_bracket[b] += 1
+        self._filters = [
+            BloomFilter(max(8, int(per_bracket[b]) * 2), self.error_rate)
+            for b in range(self.brackets)
+        ]
+        self._stored = {}
+        for node, (score, b) in enumerate(zip(v, assignment)):
+            self._filters[b].add(node)
+            self._stored[node] = float(score)
+
+    def _bracket_of(self, scores: np.ndarray) -> np.ndarray:
+        assert self._edges is not None
+        idx = np.searchsorted(self._edges, scores, side="right") - 1
+        return np.clip(idx, 0, self.brackets - 1)
+
+    # -- lookup ------------------------------------------------------------
+
+    def lookup(self, node: int) -> float:
+        """Retrieve the (quantized) score of ``node``.
+
+        Probes brackets from the highest down — high-reputation lookups
+        are the common case in peer selection — and returns the
+        geometric midpoint of the first bracket whose filter claims the
+        id.  Returns ``min_score`` if no bracket matches (cannot happen
+        for stored ids: Bloom filters have no false negatives).
+        """
+        if self._edges is None:
+            raise ValidationError("store is empty; call build() first")
+        for b in range(self.brackets - 1, -1, -1):
+            if node in self._filters[b]:
+                return self.representative(b)
+        return self.min_score
+
+    def representative(self, bracket: int) -> float:
+        """Geometric midpoint score of a bracket."""
+        if self._edges is None:
+            raise ValidationError("store is empty; call build() first")
+        if not 0 <= bracket < self.brackets:
+            raise ValidationError(f"bracket {bracket} out of range")
+        lo, hi = self._edges[bracket], self._edges[bracket + 1]
+        return float(np.sqrt(lo * hi))
+
+    def lookup_vector(self, n: int) -> np.ndarray:
+        """Retrieve scores for ids ``0..n-1`` as a dense vector."""
+        return np.array([self.lookup(i) for i in range(n)])
+
+    # -- accounting ----------------------------------------------------------
+
+    def report(self) -> StorageReport:
+        """Memory/accuracy report against the exact stored scores."""
+        if self._edges is None or not self._stored:
+            raise ValidationError("store is empty; call build() first")
+        bloom_bytes = sum(f.size_bytes for f in self._filters)
+        raw_bytes = len(self._stored) * (8 + 8)  # id + float64
+        rels = []
+        misbrackets = 0
+        true_brackets = self._bracket_of(
+            np.array([self._stored[i] for i in sorted(self._stored)])
+        )
+        for node in sorted(self._stored):
+            truth = self._stored[node]
+            got = self.lookup(node)
+            if truth > 0:
+                rels.append(abs(got - truth) / truth)
+            found_bracket = None
+            for b in range(self.brackets - 1, -1, -1):
+                if node in self._filters[b]:
+                    found_bracket = b
+                    break
+            if found_bracket != int(true_brackets[node]):
+                misbrackets += 1
+        rel_arr = np.asarray(rels) if rels else np.zeros(1)
+        return StorageReport(
+            bloom_bytes=bloom_bytes,
+            raw_bytes=raw_bytes,
+            mean_relative_error=float(rel_arr.mean()),
+            max_relative_error=float(rel_arr.max()),
+            misbracket_rate=misbrackets / len(self._stored),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"BloomReputationStore(brackets={self.brackets}, "
+            f"stored={len(self._stored)})"
+        )

@@ -1,0 +1,137 @@
+"""Feedback ledger: raw local trust scores from transactions.
+
+"After a peer completes a transaction, e.g. downloading a music file,
+the peer will rate the other based on its experience" (§1).  The ledger
+accumulates those ratings per (rater, ratee) pair; the trust matrix is
+built from its totals.
+
+Rating conventions follow EigenTrust, which the paper builds on: each
+transaction is rated +1 (satisfactory) or -1 (unsatisfactory); the local
+score is ``r_ij = max(sat_ij - unsat_ij, 0)``.  Raw real-valued scores
+can also be recorded directly (the paper's threat models assign
+fractional dishonest scores).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import ValidationError
+from repro.types import TransactionOutcome
+
+__all__ = ["TransactionRecord", "FeedbackLedger"]
+
+
+@dataclass(frozen=True)
+class TransactionRecord:
+    """One rated transaction."""
+
+    rater: int
+    ratee: int
+    outcome: TransactionOutcome
+    rating: float
+    time: float = 0.0
+
+
+class FeedbackLedger:
+    """Accumulates local trust scores ``r_ij`` for ``n`` peers.
+
+    Storage is a sparse dict-of-dicts keyed by rater; memory is
+    proportional to the number of distinct (rater, ratee) pairs, which
+    the power-law feedback distribution keeps near ``n * d_avg``.
+    """
+
+    def __init__(self, n: int, *, keep_history: bool = False):
+        if n < 1:
+            raise ValidationError(f"n must be >= 1, got {n}")
+        self.n = int(n)
+        self._scores: Dict[int, Dict[int, float]] = {}
+        self._history: Optional[List[TransactionRecord]] = [] if keep_history else None
+        self.transactions = 0
+
+    def _check(self, rater: int, ratee: int) -> None:
+        if not 0 <= rater < self.n:
+            raise ValidationError(f"rater {rater} out of range [0, {self.n})")
+        if not 0 <= ratee < self.n:
+            raise ValidationError(f"ratee {ratee} out of range [0, {self.n})")
+        if rater == ratee:
+            raise ValidationError("self-rating is not allowed")
+
+    def record_transaction(
+        self,
+        rater: int,
+        ratee: int,
+        outcome: TransactionOutcome,
+        *,
+        time: float = 0.0,
+    ) -> None:
+        """Record a +1/-1 rated transaction (EigenTrust convention).
+
+        A satisfactory (authentic) transaction adds +1 to the pair's
+        running satisfaction balance, an unsatisfactory one -1; the
+        stored local score is the balance clamped at zero.
+        """
+        self._check(rater, ratee)
+        delta = 1.0 if outcome is TransactionOutcome.AUTHENTIC else -1.0
+        row = self._scores.setdefault(rater, {})
+        # Store the raw balance (may be negative); EigenTrust clamps the
+        # *score* at read time, but the balance itself is history-long:
+        # sat - unsat over all transactions, not a running clamp.
+        row[ratee] = row.get(ratee, 0.0) + delta
+        self.transactions += 1
+        if self._history is not None:
+            self._history.append(
+                TransactionRecord(rater, ratee, outcome, delta, time)
+            )
+
+    def set_score(self, rater: int, ratee: int, score: float) -> None:
+        """Directly set the raw local score ``r_ij`` (threat models use this)."""
+        self._check(rater, ratee)
+        if score < 0:
+            raise ValidationError(f"raw local scores are non-negative, got {score}")
+        row = self._scores.setdefault(rater, {})
+        if score == 0.0:
+            row.pop(ratee, None)
+        else:
+            row[ratee] = float(score)
+
+    def add_score(self, rater: int, ratee: int, delta: float) -> None:
+        """Add ``delta`` to the raw local score, clamping at zero."""
+        self._check(rater, ratee)
+        row = self._scores.setdefault(rater, {})
+        new = max(0.0, row.get(ratee, 0.0) + delta)
+        if new == 0.0:
+            row.pop(ratee, None)
+        else:
+            row[ratee] = new
+
+    def score(self, rater: int, ratee: int) -> float:
+        """Local score ``r_ij = max(balance, 0)`` (EigenTrust clamping)."""
+        self._check(rater, ratee)
+        return max(0.0, self._scores.get(rater, {}).get(ratee, 0.0))
+
+    def row(self, rater: int) -> Dict[int, float]:
+        """Copy of rater's sparse clamped score row ``{ratee: r_ij > 0}``."""
+        if not 0 <= rater < self.n:
+            raise ValidationError(f"rater {rater} out of range [0, {self.n})")
+        return {j: v for j, v in self._scores.get(rater, {}).items() if v > 0}
+
+    def out_degree(self, rater: int) -> int:
+        """Number of peers this rater has assigned a positive score."""
+        return sum(1 for v in self._scores.get(rater, {}).values() if v > 0)
+
+    def nonzero_pairs(self) -> Iterator[Tuple[int, int, float]]:
+        """Iterate ``(rater, ratee, r_ij)`` over all positive scores."""
+        for rater, row in self._scores.items():
+            for ratee, score in row.items():
+                if score > 0:
+                    yield (rater, ratee, score)
+
+    def history(self) -> Tuple[TransactionRecord, ...]:
+        """Recorded transactions (empty unless ``keep_history=True``)."""
+        return tuple(self._history or ())
+
+    def __repr__(self) -> str:  # pragma: no cover
+        pairs = sum(len(r) for r in self._scores.values())
+        return f"FeedbackLedger(n={self.n}, pairs={pairs}, transactions={self.transactions})"

@@ -1,0 +1,141 @@
+"""The file catalog: popularity-skewed copies placed on skewed owners.
+
+§6.4: "There are over 100,000 files simulated in these experiments.  The
+number of copies of each file is determined by a Power-law distribution
+with a popularity rate phi = 1.2.  Each peer is assigned with a number
+of files based on the Sarioiu distribution."
+
+Construction: file ``f`` (1-based popularity rank) gets
+``copies(f) ∝ f^-phi`` copies (at least one); each copy is placed on a
+peer drawn with probability proportional to the peer's Saroiu ownership
+count, without duplicating a file on one peer.  The inverted index
+(file -> owner ids) is what query resolution needs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.distributions.powerlaw import powerlaw_weights
+from repro.distributions.saroiu import SaroiuFileOwnership
+from repro.errors import ValidationError
+from repro.utils.rng import SeedLike, as_generator
+
+__all__ = ["FileCatalog"]
+
+
+class FileCatalog:
+    """Files, their copy counts, and the file -> owners index.
+
+    Parameters
+    ----------
+    n_files:
+        Catalog size (paper: > 100_000).
+    n_peers:
+        Number of peers to place copies on.
+    phi:
+        Copy-count power-law exponent (paper: 1.2).
+    ownership:
+        Saroiu ownership model used to weight placement.
+    mean_copies:
+        Average copies per file (scales total placement volume).
+    """
+
+    def __init__(
+        self,
+        n_files: int,
+        n_peers: int,
+        *,
+        phi: float = 1.2,
+        ownership: Optional[SaroiuFileOwnership] = None,
+        mean_copies: float = 5.0,
+        rng: SeedLike = None,
+    ):
+        if n_files < 1:
+            raise ValidationError(f"n_files must be >= 1, got {n_files}")
+        if n_peers < 1:
+            raise ValidationError(f"n_peers must be >= 1, got {n_peers}")
+        if mean_copies < 1:
+            raise ValidationError(f"mean_copies must be >= 1, got {mean_copies}")
+        gen = as_generator(rng)
+        self.n_files = int(n_files)
+        self.n_peers = int(n_peers)
+        self.phi = float(phi)
+
+        # Copy counts: proportional to rank^-phi, scaled to the target
+        # mean, floored at one copy so every file exists somewhere.
+        weights = powerlaw_weights(self.n_files, self.phi)
+        scale = mean_copies * self.n_files / weights.sum()
+        self._copies = np.maximum(1, np.round(scale * weights)).astype(np.int64)
+        # No file can have more copies than peers (one copy per owner).
+        np.minimum(self._copies, self.n_peers, out=self._copies)
+
+        # Placement weights: Saroiu ownership counts (free riders get 0
+        # weight and thus own nothing, matching the measurement).
+        model = ownership or SaroiuFileOwnership()
+        counts = model.sample_counts(self.n_peers, gen).astype(np.float64)
+        if counts.sum() == 0:
+            counts[:] = 1.0  # degenerate draw: fall back to uniform
+        placement_p = counts / counts.sum()
+
+        # Vectorized placement: draw owners for every copy in one call
+        # (with replacement), then collapse duplicates within a file.
+        # Collisions shave a few copies off hot files, which is harmless
+        # — only distinct owners matter for query resolution.
+        sharers = np.flatnonzero(counts > 0)
+        sharer_p = placement_p[sharers] / placement_p[sharers].sum()
+        total = int(self._copies.sum())
+        draws = gen.choice(sharers, size=total, replace=True, p=sharer_p)
+        bounds = np.concatenate(([0], np.cumsum(self._copies)))
+        self._owners: List[np.ndarray] = [
+            np.unique(draws[bounds[f] : bounds[f + 1]]) for f in range(self.n_files)
+        ]
+        self._copies = np.fromiter(
+            (len(o) for o in self._owners), dtype=np.int64, count=self.n_files
+        )
+
+    # -- queries ------------------------------------------------------------
+
+    def copies(self, file_rank: int) -> int:
+        """Copy count of the file with 1-based popularity ``file_rank``."""
+        self._check_rank(file_rank)
+        return int(self._copies[file_rank - 1])
+
+    def owners(self, file_rank: int) -> np.ndarray:
+        """Owner peer ids of a file (ascending, copy)."""
+        self._check_rank(file_rank)
+        return self._owners[file_rank - 1].copy()
+
+    def owners_alive(self, file_rank: int, alive_mask: np.ndarray) -> np.ndarray:
+        """Owner ids filtered by a liveness mask."""
+        self._check_rank(file_rank)
+        own = self._owners[file_rank - 1]
+        return own[alive_mask[own]]
+
+    def files_of(self, peer: int) -> np.ndarray:
+        """1-based file ranks owned by ``peer`` (linear scan; test helper)."""
+        if not 0 <= peer < self.n_peers:
+            raise ValidationError(f"peer {peer} out of range [0, {self.n_peers})")
+        hits = [
+            f + 1 for f, own in enumerate(self._owners) if np.any(own == peer)
+        ]
+        return np.asarray(hits, dtype=np.int64)
+
+    @property
+    def total_copies(self) -> int:
+        """Total placed copies across all files."""
+        return int(sum(len(o) for o in self._owners))
+
+    def _check_rank(self, file_rank: int) -> None:
+        if not 1 <= file_rank <= self.n_files:
+            raise ValidationError(
+                f"file_rank must be in [1, {self.n_files}], got {file_rank}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"FileCatalog(files={self.n_files}, peers={self.n_peers}, "
+            f"copies={self.total_copies})"
+        )

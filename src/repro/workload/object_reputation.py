@@ -1,0 +1,156 @@
+"""Object (file-version) reputation — the §7 poisoning-defense extension.
+
+§7: "With the help of object reputation, a client can validate the
+authenticity of an object before initiating parallel file download from
+multiple peers."  Peer reputation rates *who* serves; object reputation
+rates *what* is served — the defense against poisoning attacks where
+popular files circulate in corrupted versions.
+
+Model: each file exists in several *versions* (one genuine, the rest
+poisoned).  After every download the requester votes on the version it
+received (authentic / inauthentic as experienced); votes are weighted
+by the voter's current *peer* reputation, so a horde of low-reputation
+liars cannot outvote a few reputable peers.  A version's object score
+is the Laplace-smoothed weighted fraction of authentic votes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.types import TransactionOutcome
+from repro.utils.validation import check_positive
+
+__all__ = ["VersionScore", "ObjectReputation"]
+
+
+@dataclass(frozen=True)
+class VersionScore:
+    """Score snapshot of one file version."""
+
+    file_rank: int
+    version: int
+    score: float
+    weighted_votes: float
+
+
+class ObjectReputation:
+    """Per-(file, version) authenticity scores from weighted votes.
+
+    Parameters
+    ----------
+    n_files:
+        Catalog size (1-based popularity ranks, like the catalog).
+    versions_per_file:
+        Version ids run ``0 .. versions_per_file - 1`` for every file.
+    prior_weight:
+        Laplace smoothing mass; an unvoted version scores the neutral
+        ``prior`` below.
+    prior:
+        Prior authenticity belief for unseen versions.
+    """
+
+    def __init__(
+        self,
+        n_files: int,
+        versions_per_file: int = 3,
+        *,
+        prior_weight: float = 1.0,
+        prior: float = 0.5,
+    ):
+        if n_files < 1:
+            raise ValidationError(f"n_files must be >= 1, got {n_files}")
+        if versions_per_file < 1:
+            raise ValidationError(
+                f"versions_per_file must be >= 1, got {versions_per_file}"
+            )
+        check_positive("prior_weight", prior_weight)
+        if not 0.0 <= prior <= 1.0:
+            raise ValidationError(f"prior must be in [0, 1], got {prior}")
+        self.n_files = int(n_files)
+        self.versions_per_file = int(versions_per_file)
+        self.prior_weight = float(prior_weight)
+        self.prior = float(prior)
+        # (file, version) -> [weighted authentic votes, weighted total]
+        self._votes: Dict[Tuple[int, int], np.ndarray] = {}
+        self.votes_cast = 0
+
+    def _check(self, file_rank: int, version: int) -> Tuple[int, int]:
+        if not 1 <= file_rank <= self.n_files:
+            raise ValidationError(
+                f"file_rank must be in [1, {self.n_files}], got {file_rank}"
+            )
+        if not 0 <= version < self.versions_per_file:
+            raise ValidationError(
+                f"version must be in [0, {self.versions_per_file}), got {version}"
+            )
+        return int(file_rank), int(version)
+
+    # -- voting -----------------------------------------------------------
+
+    def vote(
+        self,
+        file_rank: int,
+        version: int,
+        outcome: TransactionOutcome,
+        *,
+        weight: float = 1.0,
+    ) -> None:
+        """Record a vote on a version, weighted by the voter's reputation.
+
+        ``weight`` is typically ``n * v_voter`` (reputation relative to
+        the uniform score) so an average peer votes with weight ~1.
+        """
+        key = self._check(file_rank, version)
+        if weight < 0:
+            raise ValidationError(f"vote weight must be >= 0, got {weight}")
+        tally = self._votes.setdefault(key, np.zeros(2))
+        if outcome is TransactionOutcome.AUTHENTIC:
+            tally[0] += weight
+        tally[1] += weight
+        self.votes_cast += 1
+
+    # -- queries ------------------------------------------------------------
+
+    def score(self, file_rank: int, version: int) -> float:
+        """Smoothed authenticity score of a version in [0, 1]."""
+        key = self._check(file_rank, version)
+        auth, total = self._votes.get(key, (0.0, 0.0))
+        return float(
+            (auth + self.prior * self.prior_weight) / (total + self.prior_weight)
+        )
+
+    def version_score(self, file_rank: int, version: int) -> VersionScore:
+        """Score snapshot with the accumulated vote mass."""
+        key = self._check(file_rank, version)
+        _auth, total = self._votes.get(key, (0.0, 0.0))
+        return VersionScore(
+            file_rank=int(file_rank),
+            version=int(version),
+            score=self.score(file_rank, version),
+            weighted_votes=float(total),
+        )
+
+    def best_version(self, file_rank: int) -> int:
+        """The version a client should fetch (highest score, lowest id ties)."""
+        self._check(file_rank, 0)
+        scores = [
+            self.score(file_rank, ver) for ver in range(self.versions_per_file)
+        ]
+        return int(np.argmax(scores))
+
+    def validate(self, file_rank: int, version: int, *, threshold: float = 0.5) -> bool:
+        """Pre-download check: is this version believed authentic?"""
+        if not 0.0 <= threshold <= 1.0:
+            raise ValidationError(f"threshold must be in [0, 1], got {threshold}")
+        return bool(self.score(file_rank, version) >= threshold)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"ObjectReputation(files={self.n_files}, "
+            f"versions={self.versions_per_file}, votes={self.votes_cast})"
+        )

@@ -1,0 +1,46 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.trust.matrix import TrustMatrix
+
+
+@pytest.fixture
+def rng():
+    """A deterministic generator for test randomness."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_raw():
+    """A 4x4 raw (unnormalized) trust matrix with one dangling row."""
+    return np.array(
+        [
+            [0.0, 3.0, 1.0, 0.0],
+            [2.0, 0.0, 2.0, 0.0],
+            [1.0, 1.0, 0.0, 2.0],
+            [0.0, 0.0, 0.0, 0.0],  # node 3 issued no feedback
+        ]
+    )
+
+
+@pytest.fixture
+def small_S(small_raw):
+    """The normalized TrustMatrix of ``small_raw``."""
+    return TrustMatrix.from_dense_raw(small_raw)
+
+
+@pytest.fixture
+def random_S(rng):
+    """A dense-ish random 30-node normalized trust matrix."""
+    n = 30
+    raw = rng.random((n, n)) * (rng.random((n, n)) < 0.4)
+    np.fill_diagonal(raw, 0.0)
+    # Guarantee no dangling rows so tests exercising exact spectra are clean.
+    for i in range(n):
+        if raw[i].sum() == 0:
+            raw[i, (i + 1) % n] = 1.0
+    return TrustMatrix.from_dense_raw(raw)

@@ -1,0 +1,125 @@
+"""Selection policies: NoTrust and reputation-based."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.notrust import NoTrustSelector, ReputationSelector
+from repro.errors import ValidationError
+
+
+class TestNoTrust:
+    def test_choice_is_member(self):
+        sel = NoTrustSelector(rng=0)
+        for _ in range(20):
+            assert sel.choose([3, 7, 9]) in (3, 7, 9)
+
+    def test_uniformity(self):
+        sel = NoTrustSelector(rng=1)
+        counts = {1: 0, 2: 0, 3: 0}
+        for _ in range(6000):
+            counts[sel.choose([1, 2, 3])] += 1
+        freqs = np.array(list(counts.values())) / 6000
+        assert np.all(np.abs(freqs - 1 / 3) < 0.03)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            NoTrustSelector().choose([])
+
+    def test_update_scores_is_noop(self):
+        sel = NoTrustSelector(rng=0)
+        sel.update_scores(np.ones(5))  # must not raise
+
+
+class TestReputationSelector:
+    def test_picks_highest_score(self):
+        sel = ReputationSelector(5, rng=0)
+        sel.update_scores(np.array([0.1, 0.5, 0.2, 0.15, 0.05]))
+        assert sel.choose([0, 1, 2]) == 1
+        assert sel.choose([3, 4]) == 3
+
+    def test_uniform_scores_give_random_choice(self):
+        sel = ReputationSelector(4, rng=2)
+        picks = {sel.choose([0, 1, 2, 3]) for _ in range(100)}
+        assert len(picks) > 1  # not always the lowest id
+
+    def test_tie_break_among_top_is_random_member(self):
+        sel = ReputationSelector(4, rng=3)
+        sel.update_scores(np.array([0.4, 0.4, 0.1, 0.1]))
+        picks = {sel.choose([0, 1, 2, 3]) for _ in range(50)}
+        assert picks <= {0, 1}
+        assert len(picks) == 2
+
+    def test_update_scores_shape_checked(self):
+        sel = ReputationSelector(3)
+        with pytest.raises(ValidationError):
+            sel.update_scores(np.ones(4))
+
+    def test_scores_copy_semantics(self):
+        sel = ReputationSelector(3, rng=0)
+        scores = np.array([0.2, 0.3, 0.5])
+        sel.update_scores(scores)
+        scores[0] = 99.0
+        assert sel.scores[0] == pytest.approx(0.2)
+        view = sel.scores
+        view[1] = 99.0
+        assert sel.scores[1] == pytest.approx(0.3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            ReputationSelector(3).choose([])
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValidationError):
+            ReputationSelector(0)
+
+
+class TestProportionalSelector:
+    def test_samples_proportionally_to_scores(self):
+        from repro.baselines.notrust import ProportionalSelector
+
+        sel = ProportionalSelector(3, rng=0)
+        sel.update_scores(np.array([0.6, 0.3, 0.1]))
+        counts = np.zeros(3)
+        for _ in range(6000):
+            counts[sel.choose([0, 1, 2])] += 1
+        freqs = counts / 6000
+        assert freqs[0] == pytest.approx(0.6, abs=0.03)
+        assert freqs[2] == pytest.approx(0.1, abs=0.02)
+
+    def test_sharpness_zero_is_uniform(self):
+        from repro.baselines.notrust import ProportionalSelector
+
+        sel = ProportionalSelector(3, sharpness=0.0, rng=1)
+        sel.update_scores(np.array([0.9, 0.05, 0.05]))
+        counts = np.zeros(3)
+        for _ in range(6000):
+            counts[sel.choose([0, 1, 2])] += 1
+        assert np.all(np.abs(counts / 6000 - 1 / 3) < 0.04)
+
+    def test_high_sharpness_approaches_argmax(self):
+        from repro.baselines.notrust import ProportionalSelector
+
+        sel = ProportionalSelector(3, sharpness=16.0, rng=2)
+        sel.update_scores(np.array([0.5, 0.3, 0.2]))
+        picks = [sel.choose([0, 1, 2]) for _ in range(200)]
+        assert picks.count(0) > 195
+
+    def test_zero_scores_fall_back_to_uniform(self):
+        from repro.baselines.notrust import ProportionalSelector
+
+        sel = ProportionalSelector(4, rng=3)
+        sel.update_scores(np.zeros(4))
+        assert sel.choose([1, 3]) in (1, 3)
+
+    def test_validation(self):
+        from repro.baselines.notrust import ProportionalSelector
+
+        with pytest.raises(ValidationError):
+            ProportionalSelector(0)
+        with pytest.raises(ValidationError):
+            ProportionalSelector(3, sharpness=-1.0)
+        sel = ProportionalSelector(3)
+        with pytest.raises(ValidationError):
+            sel.choose([])
+        with pytest.raises(ValidationError):
+            sel.update_scores(np.ones(4))

@@ -1,0 +1,114 @@
+"""The full GossipTrust system."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import GossipTrustConfig
+from repro.core.gossiptrust import GossipTrust, MessageEngineAdapter
+from repro.errors import ConvergenceError, ValidationError
+from repro.gossip.message_engine import MessageGossipEngine
+from repro.network.overlay import Overlay
+from repro.network.topology import random_graph
+from repro.network.transport import Transport
+from repro.sim.engine import Simulator
+
+
+class TestRun:
+    def test_converges_and_matches_exact_reference(self, random_S):
+        cfg = GossipTrustConfig(n=random_S.n, alpha=0.15, seed=0)
+        result = GossipTrust(random_S, cfg).run()
+        assert result.converged
+        assert result.aggregation_error < 1e-3
+        assert result.vector.sum() == pytest.approx(1.0)
+
+    def test_alpha_zero_matches_eigenvector(self, random_S):
+        cfg = GossipTrustConfig(n=random_S.n, alpha=0.0, seed=1)
+        result = GossipTrust(random_S, cfg).run()
+        ref = result.exact_reference.vector
+        assert np.allclose(result.vector, ref, rtol=5e-2, atol=1e-5)
+
+    def test_power_nodes_selected_for_next_round(self, random_S):
+        cfg = GossipTrustConfig(n=random_S.n, alpha=0.15, seed=2)
+        system = GossipTrust(random_S, cfg)
+        assert system.power_nodes == frozenset()
+        result = system.run()
+        assert len(result.power_nodes) == cfg.max_power_nodes
+        assert system.power_nodes == result.power_nodes  # installed
+
+    def test_successive_rounds_stabilize_power_nodes(self, random_S):
+        cfg = GossipTrustConfig(n=random_S.n, alpha=0.15, seed=3)
+        system = GossipTrust(random_S, cfg)
+        first = system.run().power_nodes
+        second = system.run().power_nodes
+        third = system.run().power_nodes
+        assert second == third  # fixed matrix -> selection settles
+
+    def test_steps_per_cycle_reported(self, random_S):
+        result = GossipTrust(
+            random_S, GossipTrustConfig(n=random_S.n, seed=4)
+        ).run()
+        assert len(result.steps_per_cycle) == result.cycles
+        assert result.total_gossip_steps == sum(result.steps_per_cycle)
+        assert all(s > 0 for s in result.steps_per_cycle)
+
+    def test_reputation_view(self, random_S):
+        result = GossipTrust(
+            random_S, GossipTrustConfig(n=random_S.n, seed=5)
+        ).run()
+        rep = result.reputation()
+        assert rep.total() == pytest.approx(1.0)
+        assert rep.top(1)[0] == int(np.argmax(result.vector))
+
+    def test_budget_raises(self, random_S):
+        cfg = GossipTrustConfig(n=random_S.n, delta=1e-15, max_cycles=2, seed=6)
+        with pytest.raises(ConvergenceError):
+            GossipTrust(random_S, cfg).run()
+
+    def test_deterministic_given_seed(self, random_S):
+        cfg = GossipTrustConfig(n=random_S.n, seed=7)
+        a = GossipTrust(random_S, cfg).run()
+        b = GossipTrust(random_S, cfg).run()
+        assert np.array_equal(a.vector, b.vector)
+        assert a.cycles == b.cycles
+
+
+class TestConstruction:
+    def test_config_mismatch_rejected(self, random_S):
+        with pytest.raises(ValidationError):
+            GossipTrust(random_S, GossipTrustConfig(n=random_S.n + 1))
+
+    def test_accepts_raw_stochastic_array(self):
+        S = np.array([[0.0, 1.0], [1.0, 0.0]])
+        system = GossipTrust(S, GossipTrustConfig(n=2, alpha=0.0, seed=0))
+        result = system.run(raise_on_budget=False)
+        assert result.vector.shape == (2,)
+
+    def test_set_power_nodes(self, random_S):
+        system = GossipTrust(random_S, GossipTrustConfig(n=random_S.n, seed=0))
+        system.set_power_nodes(frozenset({1, 2}))
+        assert system.power_nodes == frozenset({1, 2})
+
+
+class TestMessageEngineIntegration:
+    def test_full_system_on_message_engine(self):
+        n = 16
+        rng = np.random.default_rng(3)
+        raw = rng.random((n, n)) * (rng.random((n, n)) < 0.5)
+        np.fill_diagonal(raw, 0)
+        for i in range(n):
+            if raw[i].sum() == 0:
+                raw[i, (i + 1) % n] = 1.0
+        from repro.trust.matrix import TrustMatrix
+
+        S = TrustMatrix.from_dense_raw(raw)
+        sim = Simulator()
+        overlay = Overlay(random_graph(n, rng=0), rng=1)
+        transport = Transport(sim, latency=0.5, rng=2)
+        msg_engine = MessageGossipEngine(
+            sim, transport, overlay, epsilon=1e-5, round_interval=1.0, rng=3
+        )
+        cfg = GossipTrustConfig(n=n, alpha=0.15, delta=1e-2, seed=4)
+        system = GossipTrust(S, cfg, engine=MessageEngineAdapter(msg_engine))
+        result = system.run(raise_on_budget=False)
+        assert result.aggregation_error < 0.05
+        assert result.cycle_results[0].mode == "message"

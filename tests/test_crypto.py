@@ -1,0 +1,84 @@
+"""Simulated identity-based signatures: authenticity semantics."""
+
+import pytest
+
+from repro.crypto.ibs import IdentitySigner, SignedEnvelope, verify_envelope
+from repro.crypto.pkg import PrivateKeyGenerator
+from repro.errors import CryptoError, SignatureError
+
+
+@pytest.fixture
+def pkg():
+    return PrivateKeyGenerator(b"test-master-secret-32-bytes-long")
+
+
+class TestPKG:
+    def test_extract_is_deterministic(self, pkg):
+        assert pkg.extract("node:1") == pkg.extract("node:1")
+
+    def test_distinct_identities_distinct_keys(self, pkg):
+        assert pkg.extract("node:1") != pkg.extract("node:2")
+
+    def test_different_masters_different_keys(self):
+        a = PrivateKeyGenerator(b"a" * 32).extract("node:1")
+        b = PrivateKeyGenerator(b"b" * 32).extract("node:1")
+        assert a != b
+
+    def test_issued_identities_tracked(self, pkg):
+        pkg.extract("node:7")
+        assert "node:7" in pkg.issued_identities
+
+    def test_short_master_rejected(self):
+        with pytest.raises(CryptoError):
+            PrivateKeyGenerator(b"short")
+
+    def test_empty_identity_rejected(self, pkg):
+        with pytest.raises(CryptoError):
+            pkg.extract("")
+
+    def test_fresh_master_when_omitted(self):
+        a = PrivateKeyGenerator().extract("x")
+        b = PrivateKeyGenerator().extract("x")
+        assert a != b
+
+
+class TestSignVerify:
+    def test_roundtrip(self, pkg):
+        signer = IdentitySigner("node:3", pkg)
+        env = signer.sign(b"gossip payload")
+        assert verify_envelope(env, pkg) is True
+
+    def test_string_payload_accepted(self, pkg):
+        env = IdentitySigner("node:3", pkg).sign("text")
+        assert verify_envelope(env, pkg)
+
+    def test_tampered_payload_rejected(self, pkg):
+        env = IdentitySigner("node:3", pkg).sign(b"payload")
+        forged = SignedEnvelope(env.identity, b"evil payload", env.signature)
+        assert verify_envelope(forged, pkg) is False
+
+    def test_identity_spoofing_rejected(self, pkg):
+        env = IdentitySigner("node:3", pkg).sign(b"payload")
+        spoofed = SignedEnvelope("node:4", env.payload, env.signature)
+        assert verify_envelope(spoofed, pkg) is False
+
+    def test_signature_from_wrong_key_rejected(self, pkg):
+        attacker = IdentitySigner("node:666", pkg)
+        env = attacker.sign(b"payload")
+        forged = SignedEnvelope("node:3", env.payload, env.signature)
+        assert verify_envelope(forged, pkg) is False
+
+    def test_raise_on_failure_mode(self, pkg):
+        env = IdentitySigner("node:3", pkg).sign(b"payload")
+        bad = SignedEnvelope(env.identity, b"x", env.signature)
+        with pytest.raises(SignatureError):
+            verify_envelope(bad, pkg, raise_on_failure=True)
+
+    def test_cross_pkg_verification_fails(self, pkg):
+        other = PrivateKeyGenerator(b"another-master-secret-32-bytes!!")
+        env = IdentitySigner("node:3", pkg).sign(b"payload")
+        assert verify_envelope(env, other) is False
+
+    def test_envelope_requires_identity(self):
+        with pytest.raises(CryptoError):
+            SignedEnvelope("", b"x", b"sig")

@@ -1,0 +1,37 @@
+"""Smoke tests: the shipped examples must run and print their headline.
+
+Only the lighter examples run here (the heavy ones are exercised by
+their underlying experiments); each is executed in-process with its
+module namespace isolated.
+"""
+
+import pathlib
+import runpy
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    path = EXAMPLES / name
+    assert path.exists(), f"missing example {name}"
+    runpy.run_path(str(path), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "converged in" in out
+    assert "rank" in out
+    assert "L1 distance" in out
+
+
+def test_collusion_attack(capsys):
+    out = run_example("collusion_attack.py", capsys)
+    assert "group size" in out
+    assert "power-node leverage" in out
+
+
+def test_churn_and_faults(capsys):
+    out = run_example("churn_and_faults.py", capsys)
+    assert "fault-free" in out
+    assert "gossip_error" in out

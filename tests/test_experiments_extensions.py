@@ -1,0 +1,84 @@
+"""Smoke runs + shape assertions for the extension experiments."""
+
+import pytest
+
+from repro.experiments.registry import list_experiments, run_experiment
+
+
+class TestQofExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("qof", quick=True)
+
+    def test_reports_all_gammas(self, result):
+        assert set(result.data) == {"0.2", "0.4"}
+
+    def test_qof_helps_under_heavy_attack(self, result):
+        row = result.data["0.4"]
+        assert row["rms_qof"] < row["rms_plain"]
+
+    def test_truth_judged_gap_positive(self, result):
+        assert result.data["0.4"]["gap_vs_truth"] > 0
+
+
+class TestObjectsExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("objects", quick=True)
+
+    def test_random_policy_hits_poison_base_rate(self, result):
+        # 3 versions, 1 genuine: random downloads poisoned ~2/3.
+        assert result.data["random/0.1"] == pytest.approx(2 / 3, abs=0.1)
+
+    def test_object_reputation_defeats_poisoning_at_low_gamma(self, result):
+        assert result.data["votes/0.1"] < 0.1
+        assert result.data["weighted/0.1"] < 0.1
+
+    def test_weighting_resists_vote_spam(self, result):
+        # At 50% dishonest voters only the weighted variant stays low.
+        assert result.data["weighted/0.5"] < result.data["votes/0.5"]
+        assert result.data["weighted/0.5"] < 0.2
+
+
+class TestStructuredExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("structured", quick=True)
+
+    def test_structured_needs_fewer_rounds(self, result):
+        for row in result.data.values():
+            assert row["structured_rounds"] < row["gossip_steps"]
+
+    def test_speedup_is_substantial(self, result):
+        for row in result.data.values():
+            assert row["gossip_steps"] / row["structured_rounds"] > 3
+
+
+def test_extension_experiments_registered():
+    ids = set(list_experiments())
+    assert {"qof", "objects", "structured"} <= ids
+
+
+class TestLoadExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("load", quick=True)
+
+    def test_gini_definition(self):
+        import numpy as np
+
+        from repro.experiments.load_experiment import gini
+
+        assert gini(np.array([1.0, 1.0, 1.0, 1.0])) == pytest.approx(0.0, abs=1e-9)
+        assert gini(np.array([0.0, 0.0, 0.0, 10.0])) == pytest.approx(0.75)
+        assert gini(np.zeros(4)) == 0.0
+
+    def test_argmax_is_most_concentrated(self, result):
+        ginis = {k: v["gini"] for k, v in result.data.items()}
+        assert ginis["argmax"] >= max(
+            g for k, g in ginis.items() if k != "argmax"
+        ) - 1e-9
+
+    def test_reports_all_policies(self, result):
+        assert "notrust(s=0)" in result.data
+        assert "argmax" in result.data

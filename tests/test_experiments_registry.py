@@ -1,0 +1,75 @@
+"""Registry and result plumbing."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.base import ExperimentResult, mean_std, seed_range
+from repro.experiments.registry import (
+    QUICK_OVERRIDES,
+    get_experiment,
+    list_experiments,
+    run_experiment,
+)
+from repro.metrics.reporting import Series, TextTable
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        ids = set(list_experiments())
+        assert {"table1", "fig3", "table3", "fig4a", "fig4b", "fig5"} <= ids
+
+    def test_every_experiment_has_quick_overrides(self):
+        assert set(QUICK_OVERRIDES) == set(list_experiments())
+
+    def test_get_unknown_raises_with_known_list(self):
+        with pytest.raises(ExperimentError, match="fig3"):
+            get_experiment("fig99")
+
+    def test_run_experiment_forwards_overrides(self):
+        res = run_experiment("table1")
+        assert res.experiment_id == "table1"
+
+    def test_explicit_override_beats_quick(self):
+        res = run_experiment(
+            "storage", quick=True, bracket_bits=(5,), repeats=1, n=100
+        )
+        assert list(res.data) == ["5"]
+
+
+class TestExperimentResult:
+    def test_render_includes_everything(self):
+        t = TextTable(["a"])
+        t.add_row([1])
+        s = Series("curve")
+        s.add(1, 2)
+        res = ExperimentResult(
+            experiment_id="x",
+            title="demo",
+            tables=[t],
+            series=[s],
+            notes=["caveat"],
+        )
+        out = res.render()
+        assert "== x: demo ==" in out
+        assert "caveat" in out
+        assert "curve:" in out
+
+    def test_series_by_label(self):
+        res = ExperimentResult("x", "t", series=[Series("a"), Series("b")])
+        assert res.series_by_label("b").label == "b"
+        with pytest.raises(ExperimentError):
+            res.series_by_label("c")
+
+
+class TestHelpers:
+    def test_seed_range(self):
+        assert list(seed_range(3)) == [0, 1, 2]
+        with pytest.raises(ExperimentError):
+            seed_range(0)
+
+    def test_mean_std(self):
+        m, s = mean_std([1.0, 3.0])
+        assert m == 2.0
+        assert s == 1.0
+        with pytest.raises(ExperimentError):
+            mean_std([])

@@ -1,0 +1,111 @@
+"""Epsilon/delta convergence detectors."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.gossip.convergence import (
+    CycleConvergenceDetector,
+    StepConvergenceDetector,
+    average_relative_error,
+)
+
+
+class TestAverageRelativeError:
+    def test_zero_for_identical(self):
+        v = np.array([0.2, 0.8])
+        assert average_relative_error(v, v) == 0.0
+
+    def test_known_value(self):
+        old = np.array([1.0, 2.0])
+        new = np.array([1.1, 1.8])
+        # (0.1/1 + 0.2/2) / 2 = 0.1
+        assert average_relative_error(new, old) == pytest.approx(0.1)
+
+    def test_floor_guards_zero_reference(self):
+        old = np.array([0.0, 1.0])
+        new = np.array([0.0, 1.0])
+        assert average_relative_error(new, old) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValidationError):
+            average_relative_error(np.ones(2), np.ones(3))
+
+
+class TestStepDetector:
+    def test_requires_two_updates(self):
+        det = StepConvergenceDetector(1e-3)
+        assert det.update(np.array([1.0, 2.0])) is False
+
+    def test_converges_on_small_relative_change(self):
+        det = StepConvergenceDetector(1e-2)
+        det.update(np.array([1.0, 2.0]))
+        assert det.update(np.array([1.005, 2.01])) is True
+        assert det.last_residual <= 1e-2
+
+    def test_relative_not_absolute(self):
+        det = StepConvergenceDetector(1e-2)
+        det.update(np.array([1e-6]))
+        # Absolute change 5e-8 is tiny, but relative change is 5%.
+        assert det.update(np.array([1.05e-6])) is False
+
+    def test_non_finite_estimates_block_convergence(self):
+        det = StepConvergenceDetector(1.0)
+        det.update(np.array([np.inf, 1.0]))
+        assert det.update(np.array([np.inf, 1.0])) is False
+
+    def test_min_steps_enforced(self):
+        det = StepConvergenceDetector(1.0, min_steps=3)
+        v = np.ones(2)
+        assert det.update(v) is False
+        assert det.update(v) is False
+        assert det.update(v) is False
+        assert det.update(v) is True
+
+    def test_reset(self):
+        det = StepConvergenceDetector(1e-2)
+        det.update(np.ones(2))
+        det.reset()
+        assert det.steps == 0
+        assert det.update(np.ones(2)) is False
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            StepConvergenceDetector(0.0)
+        with pytest.raises(ValidationError):
+            StepConvergenceDetector(1e-3, min_steps=-1)
+
+
+class TestCycleDetector:
+    def test_avg_relative_criterion(self):
+        det = CycleConvergenceDetector(1e-2)
+        det.update(np.array([0.5, 0.5]))
+        assert det.update(np.array([0.5005, 0.4995])) is True
+
+    def test_stays_unconverged_above_delta(self):
+        det = CycleConvergenceDetector(1e-4)
+        det.update(np.array([0.5, 0.5]))
+        assert det.update(np.array([0.45, 0.55])) is False
+
+    def test_l1_metric(self):
+        det = CycleConvergenceDetector(0.2, metric="l1")
+        det.update(np.array([0.5, 0.5]))
+        assert det.update(np.array([0.45, 0.55])) is True
+        assert det.last_residual == pytest.approx(0.1)
+
+    def test_linf_metric(self):
+        det = CycleConvergenceDetector(0.01, metric="linf")
+        det.update(np.array([0.5, 0.5]))
+        assert det.update(np.array([0.48, 0.52])) is False
+
+    def test_unknown_metric(self):
+        with pytest.raises(ValidationError):
+            CycleConvergenceDetector(0.1, metric="cosine")
+
+    def test_cycles_counter_and_reset(self):
+        det = CycleConvergenceDetector(1e-3)
+        det.update(np.ones(2) / 2)
+        det.update(np.ones(2) / 2)
+        assert det.cycles == 2
+        det.reset()
+        assert det.cycles == 0

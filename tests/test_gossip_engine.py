@@ -1,0 +1,123 @@
+"""Synchronous vectorized gossip engine: accuracy, modes, convergence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError, ValidationError
+from repro.gossip.engine import SynchronousGossipEngine
+
+
+class TestFullMode:
+    def test_cycle_estimates_exact_product(self, random_S):
+        n = random_S.n
+        engine = SynchronousGossipEngine(n, epsilon=1e-6, mode="full", rng=0)
+        v = np.full(n, 1.0 / n)
+        res = engine.run_cycle(random_S, v)
+        assert res.converged
+        assert res.mode == "full"
+        exact = random_S.dense().T @ v
+        assert np.allclose(res.v_next, exact, rtol=1e-3)
+        assert res.gossip_error < 1e-3
+
+    def test_tighter_epsilon_costs_more_steps(self, random_S):
+        v = np.full(random_S.n, 1.0 / random_S.n)
+        steps = {}
+        for eps in (1e-2, 1e-6):
+            engine = SynchronousGossipEngine(
+                random_S.n, epsilon=eps, mode="full", rng=1
+            )
+            steps[eps] = engine.run_cycle(random_S, v).steps
+        assert steps[1e-6] > steps[1e-2]
+
+    def test_node_disagreement_small_after_convergence(self, random_S):
+        engine = SynchronousGossipEngine(random_S.n, epsilon=1e-8, mode="full", rng=2)
+        v = np.full(random_S.n, 1.0 / random_S.n)
+        res = engine.run_cycle(random_S, v)
+        assert res.node_disagreement < 1e-5
+
+    def test_cycle_steps_log(self, random_S):
+        engine = SynchronousGossipEngine(random_S.n, mode="full", rng=3)
+        v = np.full(random_S.n, 1.0 / random_S.n)
+        engine.run_cycle(random_S, v)
+        engine.run_cycle(random_S, v)
+        assert len(engine.cycle_steps) == 2
+        engine.clear_stats()
+        assert engine.cycle_steps == []
+
+
+class TestProbeMode:
+    def test_probe_returns_exact_vector_with_error_sample(self, random_S):
+        n = random_S.n
+        engine = SynchronousGossipEngine(
+            n, epsilon=1e-5, mode="probe", probe_columns=8, rng=4
+        )
+        v = np.full(n, 1.0 / n)
+        res = engine.run_cycle(random_S, v)
+        assert res.mode == "probe"
+        assert np.allclose(res.v_next, res.exact)
+        assert res.gossip_error >= 0.0
+
+    def test_probe_step_counts_match_full_roughly(self, random_S):
+        n = random_S.n
+        v = np.full(n, 1.0 / n)
+        full = SynchronousGossipEngine(n, epsilon=1e-5, mode="full", rng=5)
+        probe = SynchronousGossipEngine(
+            n, epsilon=1e-5, mode="probe", probe_columns=8, rng=5
+        )
+        sf = full.run_cycle(random_S, v).steps
+        sp = probe.run_cycle(random_S, v).steps
+        assert abs(sf - sp) <= max(5, 0.4 * sf)
+
+    def test_auto_mode_picks_by_size(self):
+        small = SynchronousGossipEngine(100, mode="auto")
+        large = SynchronousGossipEngine(2000, mode="auto")
+        assert small.mode == "full"
+        assert large.mode == "probe"
+
+
+class TestValidationAndBudget:
+    def test_rejects_tiny_n(self):
+        with pytest.raises(ValidationError):
+            SynchronousGossipEngine(1)
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValidationError):
+            SynchronousGossipEngine(10, mode="warp")
+
+    def test_rejects_shape_mismatch(self, random_S):
+        engine = SynchronousGossipEngine(random_S.n + 1)
+        with pytest.raises(ValidationError):
+            engine.run_cycle(random_S, np.full(random_S.n + 1, 0.1))
+
+    def test_budget_raises(self, random_S):
+        engine = SynchronousGossipEngine(
+            random_S.n, epsilon=1e-12, mode="full", max_steps=2, rng=0
+        )
+        v = np.full(random_S.n, 1.0 / random_S.n)
+        with pytest.raises(ConvergenceError):
+            engine.run_cycle(random_S, v)
+
+    def test_budget_soft_mode(self, random_S):
+        engine = SynchronousGossipEngine(
+            random_S.n, epsilon=1e-12, mode="full", max_steps=2, rng=0
+        )
+        v = np.full(random_S.n, 1.0 / random_S.n)
+        res = engine.run_cycle(random_S, v, raise_on_budget=False)
+        assert not res.converged
+        assert res.steps == 2
+
+    def test_accepts_dense_and_sparse_matrices(self, random_S):
+        engine = SynchronousGossipEngine(random_S.n, mode="full", rng=6)
+        v = np.full(random_S.n, 1.0 / random_S.n)
+        r1 = engine.run_cycle(random_S.dense(), v)
+        r2 = engine.run_cycle(random_S.sparse(), v)
+        assert np.allclose(r1.exact, r2.exact)
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self, random_S):
+        v = np.full(random_S.n, 1.0 / random_S.n)
+        a = SynchronousGossipEngine(random_S.n, mode="full", rng=9).run_cycle(random_S, v)
+        b = SynchronousGossipEngine(random_S.n, mode="full", rng=9).run_cycle(random_S, v)
+        assert np.array_equal(a.v_next, b.v_next)
+        assert a.steps == b.steps

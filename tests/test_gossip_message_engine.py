@@ -1,0 +1,178 @@
+"""Message-level gossip engine: fidelity and fault behavior."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError, ValidationError
+from repro.gossip.message_engine import MessageGossipEngine
+from repro.network.overlay import Overlay
+from repro.network.topology import random_graph
+from repro.network.transport import Transport
+from repro.sim.engine import Simulator
+from repro.trust.matrix import TrustMatrix
+
+
+def build(n=24, loss=0.0, seed=0, epsilon=1e-5, **engine_kwargs):
+    sim = Simulator()
+    overlay = Overlay(random_graph(n, rng=seed), rng=seed + 1)
+    transport = Transport(sim, latency=0.5, loss_rate=loss, rng=seed + 2)
+    engine = MessageGossipEngine(
+        sim,
+        transport,
+        overlay,
+        epsilon=epsilon,
+        round_interval=1.0,
+        rng=seed + 3,
+        **engine_kwargs,
+    )
+    return sim, overlay, transport, engine
+
+
+def rows_and_prior(n, seed=0):
+    rng = np.random.default_rng(seed)
+    raw = rng.random((n, n)) * (rng.random((n, n)) < 0.4)
+    np.fill_diagonal(raw, 0)
+    for i in range(n):
+        if raw[i].sum() == 0:
+            raw[i, (i + 1) % n] = 1.0
+    S = TrustMatrix.from_dense_raw(raw)
+    csr = S.sparse()
+    rows = []
+    for i in range(n):
+        s, e = csr.indptr[i], csr.indptr[i + 1]
+        rows.append(dict(zip(csr.indices[s:e].tolist(), csr.data[s:e].tolist())))
+    return rows, np.full(n, 1.0 / n)
+
+
+class TestLossless:
+    def test_converges_to_exact_product(self):
+        n = 24
+        _sim, _ov, _tr, engine = build(n)
+        rows, v = rows_and_prior(n)
+        res = engine.run_cycle(rows, v)
+        assert res.converged
+        assert res.gossip_error < 1e-3
+        assert np.allclose(res.v_next, res.exact, rtol=1e-2, atol=1e-6)
+
+    def test_no_mass_lost_without_faults(self):
+        n = 16
+        _sim, _ov, _tr, engine = build(n)
+        rows, v = rows_and_prior(n)
+        res = engine.run_cycle(rows, v)
+        assert res.mass_lost_fraction == pytest.approx(0.0, abs=1e-9)
+
+    def test_all_nodes_agree(self):
+        n = 16
+        _sim, _ov, _tr, engine = build(n, epsilon=1e-7)
+        rows, v = rows_and_prior(n)
+        res = engine.run_cycle(rows, v)
+        finite = np.where(np.isfinite(res.node_estimates), res.node_estimates, np.nan)
+        spread = np.nanmax(finite, axis=0) - np.nanmin(finite, axis=0)
+        assert np.nanmax(spread) < 1e-4
+
+    def test_message_accounting(self):
+        n = 12
+        _sim, _ov, tr, engine = build(n)
+        rows, v = rows_and_prior(n)
+        res = engine.run_cycle(rows, v)
+        # One message per live node per round.
+        assert res.messages_sent == n * res.steps
+        assert res.messages_dropped == 0
+
+
+class TestFaults:
+    def test_loss_costs_accuracy_but_not_validity(self):
+        n = 24
+        _sim, _ov, _tr, engine = build(n, loss=0.1)
+        rows, v = rows_and_prior(n)
+        res = engine.run_cycle(rows, v)
+        assert res.messages_dropped > 0
+        assert res.mass_lost_fraction > 0
+        assert np.all(np.isfinite(res.v_next))
+        # Ratio robustness: error stays bounded even with 10% loss.
+        assert res.gossip_error < 1.0
+
+    def test_more_loss_more_mass_lost(self):
+        n = 24
+        losses = {}
+        for rate in (0.05, 0.3):
+            _sim, _ov, _tr, engine = build(n, loss=rate)
+            rows, v = rows_and_prior(n)
+            losses[rate] = engine.run_cycle(rows, v).mass_lost_fraction
+        assert losses[0.3] > losses[0.05]
+
+    def test_departed_node_mass_vanishes_gracefully(self):
+        n = 16
+        sim, overlay, _tr, engine = build(n)
+        rows, v = rows_and_prior(n)
+        sim.call_in(2.5, overlay.leave, 3)
+        res = engine.run_cycle(rows, v)
+        assert 3 not in res.live_nodes.tolist()
+        assert np.all(np.isfinite(res.v_next))
+
+
+class TestConfiguration:
+    def test_round_interval_must_exceed_latency(self):
+        sim = Simulator()
+        overlay = Overlay(random_graph(8, avg_degree=3.0, rng=0))
+        transport = Transport(sim, latency=2.0)
+        with pytest.raises(ValidationError):
+            MessageGossipEngine(sim, transport, overlay, round_interval=1.0)
+
+    def test_row_count_must_match(self):
+        n = 8
+        _sim, _ov, _tr, engine = build(n)
+        with pytest.raises(ValidationError):
+            engine.run_cycle([{}] * (n - 1), np.full(n, 1.0 / n))
+
+    def test_budget_raises_when_asked(self):
+        n = 16
+        _sim, _ov, _tr, engine = build(n, epsilon=1e-12, max_rounds=2)
+        rows, v = rows_and_prior(n)
+        with pytest.raises(ConvergenceError):
+            engine.run_cycle(rows, v, raise_on_budget=True)
+
+    def test_neighbors_only_mode_converges(self):
+        n = 24
+        _sim, _ov, _tr, engine = build(n, neighbors_only=True)
+        rows, v = rows_and_prior(n)
+        res = engine.run_cycle(rows, v)
+        assert res.converged
+        assert res.gossip_error < 0.05
+
+
+class TestFinalize:
+    def test_pairs_match_estimates(self):
+        n = 16
+        _sim, _ov, _tr, engine = build(n, epsilon=1e-6)
+        rows, v = rows_and_prior(n)
+        res = engine.run_cycle(rows, v)
+        pairs = engine.finalize()
+        assert set(pairs) == set(res.live_nodes.tolist())
+        node0 = pairs[res.live_nodes[0]]
+        # Pair scores approximate the exact next vector.
+        for j, score in node0.items():
+            assert score == pytest.approx(res.exact[j], rel=0.05, abs=1e-6)
+
+    def test_bloom_store_variant(self):
+        n = 16
+        _sim, _ov, _tr, engine = build(n, epsilon=1e-6)
+        rows, v = rows_and_prior(n)
+        res = engine.run_cycle(rows, v)
+        stores = engine.finalize(bracket_bits=8)
+        from repro.storage.reputation_store import BloomReputationStore
+
+        store = stores[res.live_nodes[0]]
+        assert isinstance(store, BloomReputationStore)
+        # Quantized lookups track the exact scores within bracket error.
+        top = int(res.exact.argmax())
+        assert store.lookup(top) == pytest.approx(res.exact[top], rel=0.5)
+
+    def test_departed_nodes_excluded(self):
+        n = 16
+        sim, overlay, _tr, engine = build(n)
+        rows, v = rows_and_prior(n)
+        sim.call_in(2.5, overlay.leave, 5)
+        engine.run_cycle(rows, v)
+        pairs = engine.finalize()
+        assert 5 not in pairs

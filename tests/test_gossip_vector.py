@@ -1,0 +1,92 @@
+"""Triplet vectors (Algorithm 2 per-node state)."""
+
+import math
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.gossip.vector import TripletVector
+
+
+class TestInitial:
+    def test_initialization_rule(self):
+        tv = TripletVector.initial(0, {1: 0.6, 2: 0.4}, {0: 0.5})
+        # x_j = s_0j * v_0; w only at owner.
+        assert tv.triplet(1).x == pytest.approx(0.3)
+        assert tv.triplet(2).x == pytest.approx(0.2)
+        assert tv.triplet(0).w == 1.0
+        assert tv.triplet(1).w == 0.0
+
+    def test_zero_prior_contributes_no_x(self):
+        tv = TripletVector.initial(0, {1: 0.6}, {0: 0.0})
+        assert tv.triplet(1).x == 0.0
+        assert tv.triplet(0).w == 1.0
+
+    def test_negative_score_rejected(self):
+        with pytest.raises(ValidationError):
+            TripletVector.initial(0, {1: -0.1}, {0: 0.5})
+
+
+class TestGossipOps:
+    def test_halve_splits_and_returns_equal_share(self):
+        tv = TripletVector.initial(0, {1: 1.0}, {0: 0.5})
+        sent = tv.halve()
+        assert tv.triplet(1).x == pytest.approx(0.25)
+        assert sent.triplet(1).x == pytest.approx(0.25)
+        assert tv.triplet(0).w == pytest.approx(0.5)
+        assert sent.triplet(0).w == pytest.approx(0.5)
+
+    def test_merge_sums_componentwise(self):
+        a = TripletVector.initial(0, {1: 1.0}, {0: 1.0})
+        b = TripletVector.initial(2, {1: 1.0}, {2: 0.5})
+        a.merge(b)
+        assert a.triplet(1).x == pytest.approx(1.5)
+        assert a.triplet(2).w == 1.0
+        assert a.triplet(0).w == 1.0
+
+    def test_halve_merge_conserves_mass(self):
+        tv = TripletVector.initial(0, {1: 0.8, 3: 0.2}, {0: 1.0})
+        before = tv.mass()
+        sent = tv.halve()
+        tv.merge(sent)
+        after = tv.mass()
+        assert after[0] == pytest.approx(before[0])
+        assert after[1] == pytest.approx(before[1])
+
+    def test_merge_learns_unknown_ids(self):
+        a = TripletVector.initial(0, {}, {0: 1.0})
+        b = TripletVector.initial(5, {7: 1.0}, {5: 0.25})
+        a.merge(b)
+        assert 7 in a.known_ids()
+        assert 5 in a.known_ids()
+
+
+class TestAccessors:
+    def test_estimate_semantics(self):
+        tv = TripletVector.initial(0, {1: 1.0}, {0: 0.4})
+        assert tv.estimate(0) == pytest.approx(0.0)  # x=0, w=1
+        assert tv.estimate(1) == math.inf  # x>0, w=0
+        assert math.isnan(tv.estimate(9))  # unknown id
+
+    def test_estimates_array(self):
+        tv = TripletVector.initial(0, {1: 1.0}, {0: 0.4})
+        arr = tv.estimates_array(3)
+        assert arr[0] == 0.0
+        assert arr[1] == math.inf
+        assert math.isnan(arr[2])
+
+    def test_payload_size_and_len(self):
+        tv = TripletVector.initial(0, {1: 0.5, 2: 0.5}, {0: 1.0})
+        assert len(tv) == 3  # ids 0 (w), 1, 2 (x)
+        assert tv.payload_size() == 3
+
+    def test_copy_is_deep(self):
+        tv = TripletVector.initial(0, {1: 1.0}, {0: 1.0})
+        cp = tv.copy()
+        cp.halve()
+        assert tv.triplet(1).x == pytest.approx(1.0)
+
+    def test_iteration_yields_sorted_triplets(self):
+        tv = TripletVector.initial(0, {5: 0.5, 2: 0.5}, {0: 1.0})
+        ids = [t.node for t in tv]
+        assert ids == sorted(ids)

@@ -1,0 +1,136 @@
+"""Cross-module integration: engines agree, system matches oracle, e2e runs."""
+
+import numpy as np
+
+from repro.baselines.centralized import CentralizedEigenvector
+from repro.core.config import GossipTrustConfig
+from repro.core.gossiptrust import GossipTrust, MessageEngineAdapter
+from repro.experiments.synthetic import synthetic_trust_matrix
+from repro.gossip.engine import SynchronousGossipEngine
+from repro.gossip.message_engine import MessageGossipEngine
+from repro.metrics.errors import kendall_tau, rank_overlap
+from repro.network.churn import ChurnModel
+from repro.network.overlay import Overlay
+from repro.network.topology import gnutella_like, random_graph
+from repro.network.transport import Transport
+from repro.sim.engine import Simulator
+from repro.utils.rng import RngStreams
+
+
+class TestEngineAgreement:
+    """The two gossip engines implement one protocol; they must agree."""
+
+    def test_vectorized_and_message_engines_agree(self):
+        n = 20
+        streams = RngStreams(11)
+        S = synthetic_trust_matrix(n, rng=streams.get("matrix"))
+        v = np.full(n, 1.0 / n)
+
+        vec_engine = SynchronousGossipEngine(
+            n, epsilon=1e-7, mode="full", rng=streams.get("vec")
+        )
+        vec_res = vec_engine.run_cycle(S, v)
+
+        sim = Simulator()
+        overlay = Overlay(random_graph(n, rng=streams.get("topo")), rng=streams.get("ov"))
+        transport = Transport(sim, latency=0.4, rng=streams.get("net"))
+        msg_engine = MessageGossipEngine(
+            sim, transport, overlay, epsilon=1e-7, round_interval=1.0,
+            rng=streams.get("msg"),
+        )
+        adapter = MessageEngineAdapter(msg_engine)
+        msg_res = adapter.run_cycle(S, v)
+
+        # Both approximate the same exact product.
+        assert np.allclose(vec_res.exact, msg_res.exact, atol=1e-12)
+        assert np.allclose(vec_res.v_next, msg_res.v_next, rtol=5e-2, atol=1e-5)
+
+
+class TestSystemVsOracle:
+    def test_gossiptrust_ranking_matches_eigenvector(self):
+        n = 100
+        streams = RngStreams(3)
+        S = synthetic_trust_matrix(n, rng=streams.get("matrix"))
+        cfg = GossipTrustConfig(n=n, alpha=0.0, seed=3)
+        result = GossipTrust(S, cfg, rng=streams.get("sys")).run()
+        oracle = CentralizedEigenvector(S).compute()
+        assert kendall_tau(oracle, result.vector) > 0.95
+        assert rank_overlap(oracle, result.vector, 10) >= 0.9
+
+    def test_paper_cycle_counts_ballpark(self):
+        # Table 3 at (1e-4, 1e-3): paper reports 15 cycles / 28 steps.
+        # Same order of magnitude expected on our synthetic matrices.
+        n = 300
+        streams = RngStreams(5)
+        S = synthetic_trust_matrix(n, rng=streams.get("matrix"))
+        cfg = GossipTrustConfig(
+            n=n, alpha=0.15, epsilon=1e-4, delta=1e-3, engine_mode="probe", seed=5
+        )
+        result = GossipTrust(S, cfg, rng=streams.get("sys")).run()
+        assert 3 <= result.cycles <= 40
+        mean_steps = result.total_gossip_steps / result.cycles
+        assert 10 <= mean_steps <= 120
+
+
+class TestChurnIntegration:
+    def test_gossip_cycle_survives_active_churn(self):
+        n = 40
+        streams = RngStreams(7)
+        S = synthetic_trust_matrix(n, rng=streams.get("matrix"))
+        sim = Simulator()
+        overlay = Overlay(
+            gnutella_like(n, rng=streams.get("topo")), rng=streams.get("ov")
+        )
+        transport = Transport(sim, latency=0.4, rng=streams.get("net"))
+        churn = ChurnModel(
+            sim, overlay, mean_session=40.0, mean_offline=15.0, min_alive=20,
+            rng=streams.get("churn"),
+        )
+        churn.start()
+        engine = MessageGossipEngine(
+            sim, transport, overlay, epsilon=1e-4, round_interval=1.0,
+            max_rounds=200, rng=streams.get("msg"),
+        )
+        csr = S.sparse()
+        rows = []
+        for i in range(n):
+            s, e = csr.indptr[i], csr.indptr[i + 1]
+            rows.append(dict(zip(csr.indices[s:e].tolist(), csr.data[s:e].tolist())))
+        res = engine.run_cycle(rows, np.full(n, 1.0 / n))
+        assert np.all(np.isfinite(res.v_next))
+        # Gossip still lands in the neighborhood of the exact product.
+        live = res.live_nodes
+        err = np.abs(res.v_next[live] - res.exact[live]).sum()
+        assert err < 0.5
+
+
+class TestStorageIntegration:
+    def test_bloom_store_roundtrip_of_real_reputation(self):
+        from repro.storage.reputation_store import BloomReputationStore
+
+        n = 150
+        streams = RngStreams(9)
+        S = synthetic_trust_matrix(n, rng=streams.get("matrix"))
+        v = CentralizedEigenvector(S).compute()
+        store = BloomReputationStore(bracket_bits=8)
+        store.build(v)
+        approx = store.lookup_vector(n)
+        assert kendall_tau(v, approx) > 0.8
+
+
+class TestCryptoIntegration:
+    def test_signed_gossip_payload_roundtrip(self):
+        """Gossip payloads can be signed per-identity and verified."""
+        import pickle
+
+        from repro.crypto.ibs import IdentitySigner, verify_envelope
+        from repro.crypto.pkg import PrivateKeyGenerator
+        from repro.gossip.vector import TripletVector
+
+        pkg = PrivateKeyGenerator(b"gossip-master-secret-32-bytes!!!")
+        tv = TripletVector.initial(3, {1: 0.5, 2: 0.5}, {3: 0.25})
+        payload = pickle.dumps(sorted((t.node, t.x, t.w) for t in tv))
+        env = IdentitySigner("node:3", pkg).sign(payload)
+        assert verify_envelope(env, pkg)
+        restored = pickle.loads(env.payload)
+        assert restored[0][0] == 1

@@ -1,0 +1,53 @@
+"""Theoretical cycle bound and step statistics."""
+
+import pytest
+
+from repro.core.aggregation import exact_global_reputation
+from repro.core.config import GossipTrustConfig
+from repro.errors import ValidationError
+from repro.metrics.convergence import StepStats, theoretical_cycle_bound
+
+
+class TestCycleBound:
+    def test_bound_dominates_measured_cycles(self, random_S):
+        # d <= ceil(log_b delta); verify against an actual alpha=0 run.
+        delta = 1e-4
+        bound = theoretical_cycle_bound(random_S, delta)
+        cfg = GossipTrustConfig(n=random_S.n, alpha=0.0, delta=delta)
+        res = exact_global_reputation(random_S, cfg, raise_on_budget=False)
+        assert res.cycles <= bound + 2  # +2: bound is on eigen-gap decay
+
+    def test_smaller_delta_larger_bound(self, random_S):
+        assert theoretical_cycle_bound(random_S, 1e-6) > theoretical_cycle_bound(
+            random_S, 1e-2
+        )
+
+    def test_degenerate_gap_sentinel(self):
+        import numpy as np
+
+        # Periodic 2-cycle chain: |lambda_2| == lambda_1 == 1.
+        S = np.array([[0.0, 1.0], [1.0, 0.0]])
+        from repro.trust.matrix import TrustMatrix
+
+        assert theoretical_cycle_bound(TrustMatrix.from_dense_raw(S + 0.0), 1e-3) == 10_000
+
+    def test_delta_validation(self, random_S):
+        with pytest.raises(ValidationError):
+            theoretical_cycle_bound(random_S, 0.0)
+
+
+class TestStepStats:
+    def test_summary_fields(self):
+        stats = StepStats.from_counts([10, 20, 30])
+        assert stats.mean == 20.0
+        assert stats.minimum == 10
+        assert stats.maximum == 30
+        assert stats.count == 3
+
+    def test_str_rendering(self):
+        s = str(StepStats.from_counts([5, 5]))
+        assert "5.0" in s and "min 5" in s
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            StepStats.from_counts([])

@@ -1,0 +1,78 @@
+"""Churn model: departures, rejoins, floors, callbacks."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.network.churn import ChurnModel
+from repro.network.overlay import Overlay
+from repro.network.topology import random_graph
+from repro.sim.engine import Simulator
+
+
+def make(n=30, **kwargs):
+    sim = Simulator()
+    overlay = Overlay(random_graph(n, rng=0), rng=1)
+    churn = ChurnModel(sim, overlay, rng=2, **kwargs)
+    return sim, overlay, churn
+
+
+class TestDynamics:
+    def test_departures_happen(self):
+        sim, overlay, churn = make(mean_session=10.0, mean_offline=None)
+        churn.start()
+        sim.run(until=100.0)
+        assert churn.departures > 0
+        assert overlay.alive_count < 30
+
+    def test_rejoins_happen(self):
+        sim, overlay, churn = make(mean_session=5.0, mean_offline=5.0)
+        churn.start()
+        sim.run(until=200.0)
+        assert churn.rejoins > 0
+
+    def test_population_floor_respected(self):
+        sim, overlay, churn = make(mean_session=1.0, mean_offline=None, min_alive=25)
+        churn.start()
+        sim.run(until=500.0)
+        assert overlay.alive_count >= 25
+
+    def test_steady_state_availability(self):
+        # With mean session S and offline O, availability ~ S/(S+O).
+        sim, overlay, churn = make(mean_session=30.0, mean_offline=10.0, min_alive=0)
+        churn.start()
+        sim.run(until=2000.0)
+        assert overlay.alive_count / 30 == pytest.approx(0.75, abs=0.25)
+
+    def test_start_is_idempotent(self):
+        sim, _overlay, churn = make()
+        churn.start()
+        churn.start()
+        before = sim.peek()
+        assert before < float("inf")
+
+
+class TestCallbacks:
+    def test_leave_and_join_hooks_fire(self):
+        sim, _overlay, churn = make(mean_session=5.0, mean_offline=5.0)
+        left, joined = [], []
+        churn.on_leave(left.append)
+        churn.on_join(joined.append)
+        churn.start()
+        sim.run(until=100.0)
+        assert len(left) == churn.departures
+        assert len(joined) == churn.rejoins
+        assert len(left) > 0
+
+
+class TestValidation:
+    def test_rejects_nonpositive_session(self):
+        sim = Simulator()
+        overlay = Overlay(random_graph(10, rng=0))
+        with pytest.raises(ValidationError):
+            ChurnModel(sim, overlay, mean_session=0.0)
+
+    def test_rejects_nonpositive_offline(self):
+        sim = Simulator()
+        overlay = Overlay(random_graph(10, rng=0))
+        with pytest.raises(ValidationError):
+            ChurnModel(sim, overlay, mean_offline=-1.0)

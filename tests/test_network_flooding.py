@@ -1,0 +1,74 @@
+"""TTL flooding search semantics."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.network.flooding import FloodSearch
+from repro.network.overlay import Overlay
+from repro.network.topology import Topology, random_graph
+
+
+@pytest.fixture
+def line():
+    # 0 - 1 - 2 - 3 - 4
+    return Overlay(Topology(5, [(i, i + 1) for i in range(4)]), rng=0)
+
+
+class TestQuery:
+    def test_finds_matching_nodes_within_ttl(self, line):
+        flood = FloodSearch(line, default_ttl=2)
+        res = flood.query(0, match=lambda v: v in (2, 4))
+        assert res.responders == frozenset({2})  # node 4 is 4 hops away
+        assert res.max_hop == 2
+
+    def test_full_ttl_reaches_everything(self, line):
+        flood = FloodSearch(line, default_ttl=7)
+        res = flood.query(0, match=lambda v: True)
+        assert res.responders == frozenset(range(5))
+        assert res.reached == 5
+
+    def test_issuer_can_match(self, line):
+        res = FloodSearch(line).query(2, match=lambda v: v == 2)
+        assert 2 in res.responders
+        assert res.max_hop == 0
+
+    def test_ttl_zero_only_issuer(self, line):
+        res = FloodSearch(line).query(1, match=lambda v: True, ttl=0)
+        assert res.responders == frozenset({1})
+        assert res.messages == 0
+
+    def test_departed_nodes_block_propagation(self, line):
+        line.leave(2)
+        res = FloodSearch(line).query(0, match=lambda v: v == 4)
+        assert res.responders == frozenset()
+
+    def test_message_count_counts_edge_crossings(self, line):
+        # From node 0 on a line with TTL 1: one neighbor, one message.
+        res = FloodSearch(line).query(0, match=lambda v: False, ttl=1)
+        assert res.messages == 1
+        # TTL 2: 0->1 then 1->{0,2}: 3 transmissions total.
+        res = FloodSearch(line).query(0, match=lambda v: False, ttl=2)
+        assert res.messages == 3
+
+    def test_dead_source_rejected(self, line):
+        line.leave(0)
+        with pytest.raises(ValidationError):
+            FloodSearch(line).query(0, match=lambda v: True)
+
+    def test_counters_accumulate(self, line):
+        flood = FloodSearch(line)
+        flood.query(0, match=lambda v: False)
+        flood.query(1, match=lambda v: False)
+        assert flood.queries_issued == 2
+        assert flood.total_messages > 0
+
+    def test_negative_default_ttl_rejected(self, line):
+        with pytest.raises(ValidationError):
+            FloodSearch(line, default_ttl=-1)
+
+
+class TestOnRandomGraph:
+    def test_flood_covers_connected_graph(self):
+        overlay = Overlay(random_graph(60, avg_degree=5.0, rng=3), rng=4)
+        res = FloodSearch(overlay, default_ttl=30).query(0, match=lambda v: True)
+        assert res.reached == 60

@@ -1,0 +1,129 @@
+"""Transport semantics: delivery, loss, link failure, accounting."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.network.transport import LinkFailureModel, Transport
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def net():
+    sim = Simulator()
+    transport = Transport(sim, latency=1.0, loss_rate=0.0, rng=0)
+    return sim, transport
+
+
+class TestDelivery:
+    def test_message_arrives_with_payload(self, net):
+        sim, tr = net
+        got = []
+        tr.register(1, lambda m: got.append((m.src, m.payload, sim.now)))
+        assert tr.send(0, 1, "hello") is True
+        sim.run()
+        assert len(got) == 1
+        src, payload, when = got[0]
+        assert (src, payload) == (0, "hello")
+        assert 0.5 <= when <= 1.5  # jittered latency
+
+    def test_zero_latency_delivers_same_time(self):
+        sim = Simulator()
+        tr = Transport(sim, latency=0.0, rng=0)
+        got = []
+        tr.register(1, lambda m: got.append(sim.now))
+        tr.send(0, 1, "x")
+        sim.run()
+        assert got == [0.0]
+
+    def test_self_send_rejected(self, net):
+        _sim, tr = net
+        with pytest.raises(ValidationError):
+            tr.send(2, 2, "loop")
+
+    def test_unregistered_destination_drops(self, net):
+        sim, tr = net
+        tr.send(0, 9, "void")
+        sim.run()
+        assert tr.dropped_unregistered == 1
+        assert tr.delivered == 0
+
+    def test_unregister_mid_flight_drops(self, net):
+        sim, tr = net
+        tr.register(1, lambda m: None)
+        tr.send(0, 1, "x")
+        tr.unregister(1)
+        sim.run()
+        assert tr.dropped_unregistered == 1
+
+    def test_byte_accounting(self, net):
+        _sim, tr = net
+        tr.register(1, lambda m: None)
+        tr.send(0, 1, "x", size=128)
+        tr.send(0, 1, "y", size=64)
+        assert tr.bytes_sent == 192
+
+
+class TestLoss:
+    def test_loss_rate_one_drops_everything(self):
+        sim = Simulator()
+        tr = Transport(sim, latency=1.0, loss_rate=1.0, rng=0)
+        tr.register(1, lambda m: None)
+        assert tr.send(0, 1, "x") is False
+        sim.run()
+        assert tr.delivered == 0
+        assert tr.dropped_loss == 1
+
+    def test_loss_rate_statistics(self):
+        sim = Simulator()
+        tr = Transport(sim, latency=0.0, loss_rate=0.3, rng=1)
+        tr.register(1, lambda m: None)
+        n = 5000
+        for _ in range(n):
+            tr.send(0, 1, "x")
+        sim.run()
+        assert tr.dropped_loss / n == pytest.approx(0.3, abs=0.03)
+        assert tr.delivered + tr.dropped_loss == n
+
+    def test_invalid_loss_rate(self):
+        with pytest.raises(ValidationError):
+            Transport(Simulator(), loss_rate=1.5)
+
+
+class TestLinkFailures:
+    def test_failed_link_drops_both_directions(self, net):
+        sim, tr = net
+        tr.register(0, lambda m: None)
+        tr.register(1, lambda m: None)
+        tr.fail_link(0, 1)
+        assert tr.send(0, 1, "a") is False
+        assert tr.send(1, 0, "b") is False
+        assert tr.dropped_link == 2
+
+    def test_other_links_unaffected(self, net):
+        sim, tr = net
+        got = []
+        tr.register(2, lambda m: got.append(m))
+        tr.fail_link(0, 1)
+        tr.send(0, 2, "ok")
+        sim.run()
+        assert len(got) == 1
+
+    def test_link_heals_after_duration(self, net):
+        sim, tr = net
+        got = []
+        tr.register(1, lambda m: got.append(m))
+        tr.fail_link(0, 1, duration=5.0)
+        tr.send(0, 1, "early")  # dropped
+        sim.run(until=6.0)
+        tr.send(0, 1, "late")  # delivered
+        sim.run()
+        assert [m.payload for m in got] == ["late"]
+
+    def test_model_bookkeeping(self):
+        model = LinkFailureModel()
+        model.fail(2, 1)
+        assert model.is_down(1, 2)
+        assert model.down_count == 1
+        model.heal(1, 2)
+        assert not model.is_down(2, 1)
+        assert model.failures_injected == 1

@@ -1,0 +1,163 @@
+"""Generator processes: sleeping, waiting, composition, interruption."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.process import Process, ProcessInterrupt
+
+
+class TestBasics:
+    def test_yield_number_sleeps(self):
+        sim = Simulator()
+        log = []
+
+        def proc():
+            yield 3.0
+            log.append(sim.now)
+            yield 2.0
+            log.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert log == [3.0, 5.0]
+
+    def test_process_completion_value(self):
+        sim = Simulator()
+
+        def proc():
+            yield 1.0
+            return "done"
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.triggered
+        assert p.value == "done"
+        assert not p.alive
+
+    def test_yield_event_receives_value(self):
+        sim = Simulator()
+        ev = sim.event()
+        got = []
+
+        def waiter():
+            value = yield ev
+            got.append(value)
+
+        sim.process(waiter())
+        sim.call_in(2.0, ev.succeed, "ping")
+        sim.run()
+        assert got == ["ping"]
+
+    def test_yield_already_triggered_event(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed(5)
+        got = []
+
+        def waiter():
+            got.append((yield ev))
+
+        sim.process(waiter())
+        sim.run()
+        assert got == [5]
+
+    def test_processes_compose(self):
+        sim = Simulator()
+
+        def child():
+            yield 4.0
+            return 42
+
+        def parent():
+            result = yield sim.process(child())
+            return result * 2
+
+        p = sim.process(parent())
+        sim.run()
+        assert p.value == 84
+
+    def test_zero_delay_yield(self):
+        sim = Simulator()
+        log = []
+
+        def proc():
+            yield 0.0
+            log.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert log == [0.0]
+
+
+class TestErrors:
+    def test_non_generator_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            Process(sim, lambda: None)
+
+    def test_negative_sleep_crashes_process(self):
+        sim = Simulator()
+
+        def proc():
+            yield -1.0
+
+        sim.process(proc())
+        with pytest.raises(SimulationError, match="negative sleep"):
+            sim.run()
+
+    def test_bad_yield_value_crashes_process(self):
+        sim = Simulator()
+
+        def proc():
+            yield "nope"
+
+        sim.process(proc())
+        with pytest.raises(SimulationError, match="unsupported"):
+            sim.run()
+
+
+class TestInterrupt:
+    def test_interrupt_delivers_reason(self):
+        sim = Simulator()
+        caught = []
+
+        def proc():
+            try:
+                yield 100.0
+            except ProcessInterrupt as intr:
+                caught.append(intr.reason)
+
+        p = sim.process(proc())
+        sim.call_in(1.0, p.interrupt, "churn")
+        sim.run()
+        assert caught == ["churn"]
+        assert not p.alive
+
+    def test_interrupt_finished_process_rejected(self):
+        sim = Simulator()
+
+        def proc():
+            yield 1.0
+
+        p = sim.process(proc())
+        sim.run()
+        with pytest.raises(SimulationError):
+            p.interrupt()
+
+    def test_interrupted_process_can_continue(self):
+        sim = Simulator()
+        log = []
+
+        def proc():
+            try:
+                yield 100.0
+            except ProcessInterrupt:
+                pass
+            yield 1.0
+            log.append(sim.now)
+
+        p = sim.process(proc())
+        sim.call_in(2.0, p.interrupt)
+        sim.run()
+        assert log == [3.0]

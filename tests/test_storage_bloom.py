@@ -1,0 +1,121 @@
+"""Bloom filters: no false negatives, bounded false positives, algebra."""
+
+import numpy as np
+import pytest
+
+from repro.errors import BloomCapacityError, ValidationError
+from repro.storage.bloom import BloomFilter, CountingBloomFilter, optimal_parameters
+
+
+class TestParameters:
+    def test_formulas(self):
+        m, k = optimal_parameters(1000, 0.01)
+        assert 9000 < m < 10100  # ~9.6 bits per item at 1% FP
+        assert k in (6, 7)
+
+    def test_lower_error_means_more_bits(self):
+        m1, _ = optimal_parameters(1000, 0.01)
+        m2, _ = optimal_parameters(1000, 0.0001)
+        assert m2 > 1.5 * m1
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            optimal_parameters(0, 0.01)
+        with pytest.raises(ValidationError):
+            optimal_parameters(10, 1.5)
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        bf = BloomFilter(500, 0.01)
+        items = [f"item-{i}" for i in range(500)]
+        bf.update(items)
+        assert all(item in bf for item in items)
+
+    def test_false_positive_rate_bounded(self):
+        bf = BloomFilter(1000, 0.01)
+        bf.update(range(1000))
+        fp = sum(x in bf for x in range(10_000, 30_000)) / 20_000
+        assert fp < 0.03
+
+    def test_capacity_enforced(self):
+        bf = BloomFilter(3)
+        bf.update([1, 2, 3])
+        with pytest.raises(BloomCapacityError):
+            bf.add(4)
+
+    def test_empty_contains_nothing(self):
+        bf = BloomFilter(10)
+        assert 42 not in bf
+
+    def test_union_covers_both_sets(self):
+        a = BloomFilter(100, 0.01)
+        b = BloomFilter(100, 0.01)
+        a.update(range(50))
+        b.update(range(100, 150))
+        u = a.union(b)
+        assert all(x in u for x in range(50))
+        assert all(x in u for x in range(100, 150))
+
+    def test_union_requires_compatible_parameters(self):
+        with pytest.raises(ValidationError):
+            BloomFilter(100).union(BloomFilter(200))
+
+    def test_estimated_fp_rate_grows_with_load(self):
+        bf = BloomFilter(100, 0.01)
+        empty = bf.estimated_false_positive_rate()
+        bf.update(range(100))
+        assert bf.estimated_false_positive_rate() > empty
+
+    def test_size_bytes(self):
+        bf = BloomFilter(1000, 0.01)
+        assert bf.size_bytes == (bf.m + 7) // 8
+
+    def test_deterministic_hashing(self):
+        a = BloomFilter(10)
+        b = BloomFilter(10)
+        a.add("x")
+        b.add("x")
+        assert np.array_equal(a._bits, b._bits)
+
+
+class TestCountingBloomFilter:
+    def test_add_remove_roundtrip(self):
+        cbf = CountingBloomFilter(100)
+        cbf.add("a")
+        cbf.add("b")
+        assert "a" in cbf
+        cbf.remove("a")
+        assert "a" not in cbf
+        assert "b" in cbf
+
+    def test_duplicate_adds_need_matching_removes(self):
+        cbf = CountingBloomFilter(100)
+        cbf.add("x")
+        cbf.add("x")
+        cbf.remove("x")
+        assert "x" in cbf
+        cbf.remove("x")
+        assert "x" not in cbf
+
+    def test_remove_never_added_rejected(self):
+        cbf = CountingBloomFilter(10)
+        with pytest.raises(ValidationError):
+            cbf.remove("ghost")
+
+    def test_capacity_enforced(self):
+        cbf = CountingBloomFilter(2)
+        cbf.add(1)
+        cbf.add(2)
+        with pytest.raises(BloomCapacityError):
+            cbf.add(3)
+
+    def test_no_false_negatives(self):
+        cbf = CountingBloomFilter(300)
+        for i in range(300):
+            cbf.add(i)
+        assert all(i in cbf for i in range(300))
+
+    def test_size_accounting(self):
+        cbf = CountingBloomFilter(100)
+        assert cbf.size_bytes == 2 * cbf.m

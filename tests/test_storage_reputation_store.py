@@ -1,0 +1,103 @@
+"""Bracketed Bloom reputation store."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.storage.reputation_store import BloomReputationStore
+
+
+@pytest.fixture
+def scores(rng):
+    v = rng.pareto(1.5, size=200) + 1e-4
+    return v / v.sum()
+
+
+class TestBuildAndLookup:
+    def test_lookup_within_bracket_error(self, scores):
+        store = BloomReputationStore(bracket_bits=6)
+        store.build(scores)
+        # Geometric brackets: retrieved score within one bracket ratio.
+        edges_ratio = (scores.max() / store.min_score) ** (1.0 / 64)
+        for node in range(0, 200, 17):
+            got = store.lookup(node)
+            truth = scores[node]
+            if truth >= store.min_score:
+                assert got / truth < edges_ratio * 2
+                assert truth / got < edges_ratio * 2
+
+    def test_more_brackets_less_error(self, scores):
+        errs = {}
+        for bits in (3, 8):
+            store = BloomReputationStore(bracket_bits=bits)
+            store.build(scores)
+            errs[bits] = store.report().mean_relative_error
+        assert errs[8] < errs[3]
+
+    def test_lookup_vector_shape(self, scores):
+        store = BloomReputationStore()
+        store.build(scores)
+        out = store.lookup_vector(200)
+        assert out.shape == (200,)
+        assert np.all(out > 0)
+
+    def test_representative_is_geometric_midpoint(self, scores):
+        store = BloomReputationStore(bracket_bits=4)
+        store.build(scores)
+        rep = store.representative(0)
+        assert store._edges[0] <= rep <= store._edges[1]
+
+    def test_rebuild_replaces_contents(self, scores):
+        store = BloomReputationStore()
+        store.build(scores)
+        flat = np.full(50, 1.0 / 50)
+        store.build(flat)
+        assert store.lookup_vector(50).shape == (50,)
+
+
+class TestReport:
+    def test_report_fields(self, scores):
+        store = BloomReputationStore(bracket_bits=5)
+        store.build(scores)
+        rep = store.report()
+        assert rep.bloom_bytes > 0
+        assert rep.raw_bytes == 200 * 16
+        assert rep.compression_ratio == rep.raw_bytes / rep.bloom_bytes
+        assert 0 <= rep.misbracket_rate <= 1
+        assert rep.mean_relative_error <= rep.max_relative_error
+
+    def test_report_requires_build(self):
+        with pytest.raises(ValidationError):
+            BloomReputationStore().report()
+
+
+class TestValidation:
+    def test_lookup_requires_build(self):
+        with pytest.raises(ValidationError):
+            BloomReputationStore().lookup(0)
+
+    def test_constructor_bounds(self):
+        with pytest.raises(ValidationError):
+            BloomReputationStore(bracket_bits=0)
+        with pytest.raises(ValidationError):
+            BloomReputationStore(bracket_bits=17)
+        with pytest.raises(ValidationError):
+            BloomReputationStore(min_score=0.0)
+
+    def test_build_rejects_bad_vectors(self):
+        store = BloomReputationStore()
+        with pytest.raises(ValidationError):
+            store.build(np.array([]))
+        with pytest.raises(ValidationError):
+            store.build(np.array([-0.1, 1.1]))
+
+    def test_representative_range_check(self, scores):
+        store = BloomReputationStore(bracket_bits=3)
+        store.build(scores)
+        with pytest.raises(ValidationError):
+            store.representative(8)
+
+    def test_degenerate_all_tiny_scores(self):
+        store = BloomReputationStore(min_score=1e-3)
+        store.build(np.full(10, 1e-6))
+        assert store.lookup(0) > 0

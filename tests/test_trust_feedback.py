@@ -1,0 +1,109 @@
+"""Feedback ledger semantics: EigenTrust-style balances, clamping."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.trust.feedback import FeedbackLedger
+from repro.types import TransactionOutcome
+
+
+@pytest.fixture
+def ledger():
+    return FeedbackLedger(5)
+
+
+class TestTransactions:
+    def test_authentic_increments_balance(self, ledger):
+        ledger.record_transaction(0, 1, TransactionOutcome.AUTHENTIC)
+        assert ledger.score(0, 1) == 1.0
+        ledger.record_transaction(0, 1, TransactionOutcome.AUTHENTIC)
+        assert ledger.score(0, 1) == 2.0
+
+    def test_inauthentic_decrements_and_clamps_at_zero(self, ledger):
+        ledger.record_transaction(0, 1, TransactionOutcome.INAUTHENTIC)
+        assert ledger.score(0, 1) == 0.0
+        ledger.record_transaction(0, 1, TransactionOutcome.AUTHENTIC)
+        # Balance is -1 + 1 = 0, still clamped.
+        assert ledger.score(0, 1) == 0.0
+
+    def test_mixed_history_nets_out(self, ledger):
+        for _ in range(3):
+            ledger.record_transaction(0, 1, TransactionOutcome.AUTHENTIC)
+        ledger.record_transaction(0, 1, TransactionOutcome.INAUTHENTIC)
+        assert ledger.score(0, 1) == 2.0
+
+    def test_transaction_counter(self, ledger):
+        ledger.record_transaction(0, 1, TransactionOutcome.AUTHENTIC)
+        ledger.record_transaction(2, 3, TransactionOutcome.FAILED)
+        assert ledger.transactions == 2
+
+    def test_history_kept_only_on_request(self):
+        with_hist = FeedbackLedger(3, keep_history=True)
+        with_hist.record_transaction(0, 1, TransactionOutcome.AUTHENTIC, time=4.5)
+        assert len(with_hist.history()) == 1
+        assert with_hist.history()[0].time == 4.5
+        without = FeedbackLedger(3)
+        without.record_transaction(0, 1, TransactionOutcome.AUTHENTIC)
+        assert without.history() == ()
+
+
+class TestDirectScores:
+    def test_set_and_get(self, ledger):
+        ledger.set_score(1, 2, 0.6)
+        assert ledger.score(1, 2) == 0.6
+
+    def test_set_zero_clears_entry(self, ledger):
+        ledger.set_score(1, 2, 0.6)
+        ledger.set_score(1, 2, 0.0)
+        assert ledger.score(1, 2) == 0.0
+        assert ledger.out_degree(1) == 0
+
+    def test_negative_raw_score_rejected(self, ledger):
+        with pytest.raises(ValidationError):
+            ledger.set_score(1, 2, -0.5)
+
+    def test_add_score_clamps(self, ledger):
+        ledger.add_score(0, 1, 0.5)
+        ledger.add_score(0, 1, -2.0)
+        assert ledger.score(0, 1) == 0.0
+
+
+class TestValidation:
+    def test_self_rating_rejected(self, ledger):
+        with pytest.raises(ValidationError):
+            ledger.record_transaction(2, 2, TransactionOutcome.AUTHENTIC)
+        with pytest.raises(ValidationError):
+            ledger.set_score(2, 2, 1.0)
+
+    def test_out_of_range_ids(self, ledger):
+        with pytest.raises(ValidationError):
+            ledger.record_transaction(5, 0, TransactionOutcome.AUTHENTIC)
+        with pytest.raises(ValidationError):
+            ledger.score(0, 5)
+        with pytest.raises(ValidationError):
+            ledger.row(-1)
+
+    def test_rejects_tiny_n(self):
+        with pytest.raises(ValidationError):
+            FeedbackLedger(0)
+
+
+class TestViews:
+    def test_row_is_copy(self, ledger):
+        ledger.set_score(0, 1, 1.0)
+        row = ledger.row(0)
+        row[1] = 99.0
+        assert ledger.score(0, 1) == 1.0
+
+    def test_nonzero_pairs(self, ledger):
+        ledger.set_score(0, 1, 1.0)
+        ledger.set_score(2, 3, 0.5)
+        ledger.record_transaction(4, 0, TransactionOutcome.INAUTHENTIC)  # stays 0
+        pairs = sorted(ledger.nonzero_pairs())
+        assert pairs == [(0, 1, 1.0), (2, 3, 0.5)]
+
+    def test_out_degree_counts_positive_only(self, ledger):
+        ledger.set_score(0, 1, 1.0)
+        ledger.set_score(0, 2, 2.0)
+        ledger.record_transaction(0, 3, TransactionOutcome.INAUTHENTIC)
+        assert ledger.out_degree(0) == 2

@@ -1,0 +1,107 @@
+"""Trust matrix: Eq. 1 normalization, stochasticity, dangling rows."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.errors import ValidationError
+from repro.trust.feedback import FeedbackLedger
+from repro.trust.matrix import TrustMatrix
+
+
+class TestFromDenseRaw:
+    def test_rows_are_normalized(self, small_raw):
+        S = TrustMatrix.from_dense_raw(small_raw)
+        dense = S.dense()
+        assert np.allclose(dense.sum(axis=1), 1.0)
+        # Eq. 1 check on row 0: raw (0, 3, 1, 0) -> (0, .75, .25, 0)
+        assert dense[0].tolist() == pytest.approx([0.0, 0.75, 0.25, 0.0])
+
+    def test_dangling_row_gets_uniform_fallback(self, small_raw):
+        S = TrustMatrix.from_dense_raw(small_raw)
+        assert S.row(3).tolist() == pytest.approx([0.25] * 4)
+
+    def test_dangling_row_custom_fallback(self, small_raw):
+        fb = np.array([0.0, 0.0, 0.0, 1.0])
+        S = TrustMatrix.from_dense_raw(small_raw, fallback=fb)
+        assert S.row(3).tolist() == pytest.approx([0.0, 0.0, 0.0, 1.0])
+
+    def test_diagonal_zeroed(self):
+        raw = np.array([[5.0, 1.0], [1.0, 5.0]])
+        S = TrustMatrix.from_dense_raw(raw)
+        assert S.entry(0, 0) == 0.0
+        assert S.entry(0, 1) == 1.0
+
+    def test_negative_raw_rejected(self):
+        with pytest.raises(ValidationError):
+            TrustMatrix.from_dense_raw(np.array([[0.0, -1.0], [1.0, 0.0]]))
+
+    def test_bad_fallback_rejected(self, small_raw):
+        with pytest.raises(ValidationError):
+            TrustMatrix.from_dense_raw(small_raw, fallback=np.array([0.5, 0.5, 0.5, 0.5]))
+
+
+class TestFromLedger:
+    def test_matches_dense_construction(self, small_raw):
+        ledger = FeedbackLedger(4)
+        for i in range(4):
+            for j in range(4):
+                if i != j and small_raw[i, j] > 0:
+                    ledger.set_score(i, j, small_raw[i, j])
+        S_ledger = TrustMatrix.from_ledger(ledger)
+        S_dense = TrustMatrix.from_dense_raw(small_raw)
+        assert np.allclose(S_ledger.dense(), S_dense.dense())
+
+    def test_from_raw_entries(self):
+        S = TrustMatrix.from_raw(3, [(0, 1, 2.0), (0, 2, 2.0), (1, 0, 1.0), (2, 0, 1.0)])
+        assert S.entry(0, 1) == pytest.approx(0.5)
+        assert S.entry(1, 0) == pytest.approx(1.0)
+
+
+class TestConstructorValidation:
+    def test_accepts_stochastic(self):
+        S = TrustMatrix(sparse.csr_matrix(np.array([[0.0, 1.0], [1.0, 0.0]])))
+        assert S.n == 2
+
+    def test_rejects_non_stochastic(self):
+        with pytest.raises(ValidationError):
+            TrustMatrix(sparse.csr_matrix(np.array([[0.0, 0.5], [1.0, 0.0]])))
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValidationError):
+            TrustMatrix(sparse.csr_matrix(np.ones((2, 3)) / 3))
+
+    def test_rejects_entries_above_one(self):
+        with pytest.raises(ValidationError):
+            TrustMatrix(sparse.csr_matrix(np.array([[1.5, -0.5], [0.5, 0.5]])))
+
+
+class TestOperations:
+    def test_aggregate_is_transpose_product(self, random_S):
+        v = np.random.default_rng(0).random(random_S.n)
+        v /= v.sum()
+        expected = random_S.dense().T @ v
+        assert np.allclose(random_S.aggregate(v), expected)
+
+    def test_aggregate_preserves_total_mass(self, random_S):
+        v = np.full(random_S.n, 1.0 / random_S.n)
+        out = random_S.aggregate(v)
+        assert out.sum() == pytest.approx(1.0)
+
+    def test_aggregate_validates_size(self, small_S):
+        with pytest.raises(ValidationError):
+            small_S.aggregate(np.ones(3))
+
+    def test_row_and_column_views(self, small_S):
+        assert small_S.row(0).sum() == pytest.approx(1.0)
+        col = small_S.column(1)
+        dense = small_S.dense()
+        assert np.allclose(col, dense[:, 1])
+
+    def test_spectral_gap_orders_eigenvalues(self, random_S):
+        lam1, lam2 = random_S.spectral_gap()
+        assert lam1 >= lam2 >= 0
+        assert lam1 == pytest.approx(1.0, abs=1e-6)  # stochastic matrix
+
+    def test_nnz(self, small_S):
+        assert small_S.nnz >= 7  # 7 raw entries + fallback row

@@ -1,0 +1,81 @@
+"""Value-type behaviors: GossipPair, Triplet, ReputationVector."""
+
+import math
+
+import pytest
+
+from repro.types import GossipPair, PeerClass, ReputationVector, Triplet
+
+
+class TestGossipPair:
+    def test_halved_splits_both_components(self):
+        pair = GossipPair(x=0.4, w=1.0)
+        half = pair.halved()
+        assert half == GossipPair(0.2, 0.5)
+
+    def test_merged_sums_components(self):
+        merged = GossipPair(0.1, 0.2).merged(GossipPair(0.3, 0.4))
+        assert merged.x == pytest.approx(0.4)
+        assert merged.w == pytest.approx(0.6)
+
+    def test_estimate_is_ratio(self):
+        assert GossipPair(0.1, 0.5).estimate == pytest.approx(0.2)
+
+    def test_estimate_with_zero_w_positive_x_is_inf(self):
+        assert GossipPair(0.1, 0.0).estimate == math.inf
+
+    def test_estimate_with_zero_mass_is_nan(self):
+        assert math.isnan(GossipPair(0.0, 0.0).estimate)
+
+    def test_halve_then_merge_restores_mass(self):
+        pair = GossipPair(0.3, 0.7)
+        half = pair.halved()
+        assert half.merged(half) == pair
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            GossipPair(1.0, 1.0).x = 2.0
+
+
+class TestTriplet:
+    def test_estimate(self):
+        assert Triplet(x=0.05, node=3, w=0.25).estimate == pytest.approx(0.2)
+
+    def test_estimate_zero_w(self):
+        assert Triplet(x=0.1, node=0, w=0.0).estimate == math.inf
+        assert math.isnan(Triplet(x=0.0, node=0, w=0.0).estimate)
+
+
+class TestReputationVector:
+    def test_score_lookup_and_default(self):
+        v = ReputationVector(scores={0: 0.6, 1: 0.4})
+        assert v.score(0) == 0.6
+        assert v.score(99) == 0.0
+
+    def test_top_orders_by_score_then_id(self):
+        v = ReputationVector(scores={0: 0.2, 1: 0.5, 2: 0.2, 3: 0.1})
+        assert v.top(3) == (1, 0, 2)
+
+    def test_top_with_k_larger_than_population(self):
+        v = ReputationVector(scores={0: 1.0})
+        assert v.top(10) == (0,)
+
+    def test_total(self):
+        v = ReputationVector(scores={0: 0.25, 1: 0.75})
+        assert v.total() == pytest.approx(1.0)
+
+
+def test_peer_class_values_are_stable():
+    # These strings appear in reports; renames are breaking changes.
+    assert PeerClass.HONEST.value == "honest"
+    assert PeerClass.MALICIOUS_INDEPENDENT.value == "malicious_independent"
+    assert PeerClass.MALICIOUS_COLLUSIVE.value == "malicious_collusive"
+    assert PeerClass.POWER.value == "power"
+
+
+def test_package_public_surface_importable():
+    """Every name in repro.__all__ resolves (the README's import paths)."""
+    import repro
+
+    for name in repro.__all__:
+        assert hasattr(repro, name), name

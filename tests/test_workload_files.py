@@ -1,0 +1,92 @@
+"""File catalog: popularity law, placement, liveness filtering."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.workload.files import FileCatalog
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return FileCatalog(2000, 100, rng=0)
+
+
+class TestCopies:
+    def test_every_file_has_at_least_one_copy(self, catalog):
+        for f in (1, 500, 2000):
+            assert catalog.copies(f) >= 1
+
+    def test_popular_files_have_more_copies(self, catalog):
+        head = np.mean([catalog.copies(f) for f in range(1, 21)])
+        tail = np.mean([catalog.copies(f) for f in range(1981, 2001)])
+        assert head > 3 * tail
+
+    def test_copies_bounded_by_peers(self):
+        cat = FileCatalog(50, 10, mean_copies=30.0, rng=1)
+        for f in range(1, 51):
+            assert cat.copies(f) <= 10
+
+    def test_total_copies_scales_with_mean(self):
+        lo = FileCatalog(500, 200, mean_copies=2.0, rng=2)
+        hi = FileCatalog(500, 200, mean_copies=8.0, rng=2)
+        assert hi.total_copies > 2 * lo.total_copies
+
+
+class TestOwnership:
+    def test_owners_are_valid_unique_peers(self, catalog):
+        own = catalog.owners(1)
+        assert own.size == catalog.copies(1)
+        assert len(set(own.tolist())) == own.size
+        assert own.min() >= 0
+        assert own.max() < 100
+
+    def test_owners_returns_copy(self, catalog):
+        a = catalog.owners(1)
+        a[:] = -1
+        assert catalog.owners(1).min() >= 0
+
+    def test_owners_alive_filters(self, catalog):
+        own = catalog.owners(1)
+        mask = np.ones(100, dtype=bool)
+        mask[own[0]] = False
+        alive = catalog.owners_alive(1, mask)
+        assert own[0] not in alive
+        assert alive.size == own.size - 1
+
+    def test_placement_skewed_toward_sharers(self, catalog):
+        # Free riders (zero Saroiu weight) own nothing.
+        owned_by = np.zeros(100, dtype=int)
+        for f in range(1, 2001):
+            for p in catalog.owners(f):
+                owned_by[p] += 1
+        assert (owned_by == 0).sum() > 0  # free riders exist
+        assert owned_by.max() > 5 * max(1, np.median(owned_by[owned_by > 0]))
+
+    def test_files_of_inverts_owners(self, catalog):
+        peer = int(catalog.owners(1)[0])
+        assert 1 in catalog.files_of(peer).tolist()
+
+
+class TestValidation:
+    def test_rank_bounds(self, catalog):
+        with pytest.raises(ValidationError):
+            catalog.copies(0)
+        with pytest.raises(ValidationError):
+            catalog.owners(2001)
+        with pytest.raises(ValidationError):
+            catalog.files_of(100)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValidationError):
+            FileCatalog(0, 10)
+        with pytest.raises(ValidationError):
+            FileCatalog(10, 0)
+        with pytest.raises(ValidationError):
+            FileCatalog(10, 10, mean_copies=0.5)
+
+    def test_deterministic(self):
+        a = FileCatalog(100, 20, rng=5)
+        b = FileCatalog(100, 20, rng=5)
+        for f in (1, 50, 100):
+            assert np.array_equal(a.owners(f), b.owners(f))

@@ -1,0 +1,42 @@
+"""Generate docs/API.md from the package's public surface (one-off tool)."""
+import importlib, inspect, pkgutil
+import repro
+
+lines = ["# API reference", "",
+         "Auto-generated summary of the public surface (`__all__` of every",
+         "module).  Regenerate with `python tools/gen_api_doc.py`.", ""]
+
+def doc_first_line(obj):
+    doc = inspect.getdoc(obj) or ""
+    return doc.split("\n")[0] if doc else ""
+
+seen = set()
+mods = []
+for m in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+    mods.append(m.name)
+for name in sorted(mods):
+    try:
+        mod = importlib.import_module(name)
+    except Exception as exc:
+        continue
+    public = getattr(mod, "__all__", None)
+    if not public:
+        continue
+    lines.append(f"## `{name}`")
+    first = doc_first_line(mod)
+    if first:
+        lines.append("")
+        lines.append(first)
+    lines.append("")
+    for sym in public:
+        obj = getattr(mod, sym, None)
+        if obj is None or id(obj) in seen:
+            continue
+        kind = "class" if inspect.isclass(obj) else ("function" if callable(obj) else "data")
+        summary = doc_first_line(obj)
+        lines.append(f"- **`{sym}`** ({kind}) — {summary}")
+    lines.append("")
+import os
+os.makedirs("docs", exist_ok=True)
+open("docs/API.md", "w").write("\n".join(lines) + "\n")
+print(f"wrote docs/API.md ({len(lines)} lines)")
