@@ -2,13 +2,25 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples experiments docs clean
+.PHONY: install test lint ci bench examples experiments docs clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Lint with ruff when available; skip (successfully) when it is not
+# installed so offline environments can still run `make ci`.
+lint:
+	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check src tests benchmarks examples tools; \
+	else \
+		echo "ruff not installed; skipping lint (CI runs it)"; \
+	fi
+
+# What CI runs: the tier-1 suite plus lint.
+ci: test lint
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

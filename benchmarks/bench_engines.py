@@ -1,0 +1,58 @@
+"""Engine shoot-out: every registered cycle engine on one fixed problem.
+
+All engines are built through :func:`repro.gossip.factory.make_engine`
+on the same (n, matrix, seed), so the timings compare aggregation
+strategies — vectorized synchronous push-sum, message-level DES,
+asynchronous Poisson-clock gossip, and the deterministic DHT all-reduce
+— not setup noise.  Each round rebuilds the engine so DES state never
+leaks between iterations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.synthetic import synthetic_trust_matrix
+from repro.gossip.factory import engine_names, make_engine
+from repro.metrics.telemetry import CycleTelemetry
+from repro.utils.rng import RngStreams
+
+N = 256
+SEED = 0
+
+
+@pytest.fixture(scope="module")
+def bench_S():
+    return synthetic_trust_matrix(N, rng=RngStreams(SEED).get("matrix"))
+
+
+@pytest.mark.parametrize("name", engine_names())
+def test_engine_cycle(benchmark, bench_S, name):
+    """One aggregation cycle per engine, same matrix and seed."""
+    v = np.full(N, 1.0 / N)
+
+    def one_cycle():
+        eng = make_engine(
+            name, n=N, rng=RngStreams(SEED),
+            epsilon=1e-4, mode="probe", probe_columns=64, max_rounds=400,
+        )
+        return eng.run_cycle(bench_S, v)
+
+    res = benchmark.pedantic(one_cycle, rounds=3, iterations=1)
+    assert res.v_next.sum() == pytest.approx(1.0, abs=1e-6)
+    benchmark.extra_info["steps"] = res.steps
+    benchmark.extra_info["messages_sent"] = res.messages_sent
+
+
+def test_engine_telemetry_snapshot(results_dir, bench_S):
+    """Persist a side-by-side telemetry table for all engines."""
+    telemetry = CycleTelemetry()
+    v = np.full(N, 1.0 / N)
+    for cycle, name in enumerate(engine_names(), start=1):
+        eng = make_engine(
+            name, n=N, rng=RngStreams(SEED),
+            epsilon=1e-4, mode="probe", probe_columns=64, max_rounds=400,
+        )
+        telemetry.timed(cycle, eng, bench_S, v)
+    text = telemetry.render() + "\nengines: " + ", ".join(engine_names())
+    (results_dir / "engines.txt").write_text(text + "\n")
+    assert len(telemetry) == len(engine_names())

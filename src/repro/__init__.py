@@ -22,15 +22,18 @@ regenerators of every table and figure in the paper.
 
 from repro.core.aggregation import ExactAggregation, exact_global_reputation
 from repro.core.config import GossipTrustConfig
-from repro.core.gossiptrust import GossipTrust, GossipTrustResult, MessageEngineAdapter
+from repro.core.gossiptrust import GossipTrust, GossipTrustResult
 from repro.core.power_nodes import PowerNodeSelector
 from repro.crypto.secure_transport import SecureTransport
 from repro.errors import ReproError
 from repro.gossip.async_engine import AsyncMessageGossipEngine
+from repro.gossip.base import CycleEngine, GossipCycleResult
 from repro.gossip.engine import SynchronousGossipEngine
+from repro.gossip.factory import engine_names, make_engine, register_engine
 from repro.gossip.message_engine import MessageGossipEngine
 from repro.gossip.pushsum import push_sum, scripted_push_sum
 from repro.gossip.structured import StructuredAggregationEngine
+from repro.metrics.telemetry import CycleRecord, CycleTelemetry
 from repro.trust.feedback import FeedbackLedger
 from repro.trust.matrix import TrustMatrix
 from repro.trust.qof import QofWeightedAggregation, feedback_quality
@@ -44,10 +47,16 @@ __all__ = [
     "GossipTrust",
     "GossipTrustConfig",
     "GossipTrustResult",
-    "MessageEngineAdapter",
     "PowerNodeSelector",
     "ExactAggregation",
     "exact_global_reputation",
+    "CycleEngine",
+    "GossipCycleResult",
+    "make_engine",
+    "engine_names",
+    "register_engine",
+    "CycleRecord",
+    "CycleTelemetry",
     "SynchronousGossipEngine",
     "MessageGossipEngine",
     "AsyncMessageGossipEngine",

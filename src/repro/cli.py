@@ -3,12 +3,14 @@
 Usage::
 
     gossiptrust list
-    gossiptrust run fig3 [--quick]
+    gossiptrust run fig3 [--quick] [--engine sync]
     gossiptrust run table3 --set n=500 --set repeats=2
     gossiptrust all --quick
 
 ``--set key=value`` forwards typed overrides to the experiment runner
 (ints, floats, and comma-separated tuples are auto-parsed).
+``--engine NAME`` is shorthand for ``--set engine=NAME`` and selects
+any engine registered with :func:`repro.gossip.factory.register_engine`.
 """
 
 from __future__ import annotations
@@ -67,6 +69,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--chart", action="store_true", help="append an ASCII chart of the series"
     )
     run_p.add_argument(
+        "--engine",
+        default=None,
+        metavar="NAME",
+        help="cycle engine to run the experiment on "
+        "(registered names; shorthand for --set engine=NAME)",
+    )
+    run_p.add_argument(
         "--set",
         dest="overrides",
         action="append",
@@ -91,6 +100,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "run":
         overrides: Dict[str, object] = dict(args.overrides)
+        if args.engine is not None:
+            overrides["engine"] = args.engine
         result = run_experiment(args.experiment, quick=args.quick, **overrides)
         print(result.render(chart=args.chart))
         return 0

@@ -41,10 +41,20 @@ class GossipTrustConfig:
         a small number; the budget is a guard, not a tuning knob).
     max_gossip_steps:
         Per-cycle gossip step budget.
+    engine:
+        Registered gossip-engine name driving the aggregation cycles
+        (``"sync"``, ``"message"``, ``"async"``, ``"structured"``, or
+        any name added via
+        :func:`~repro.gossip.factory.register_engine`).
     engine_mode:
         ``"auto"``, ``"full"``, or ``"probe"`` for the vectorized engine.
     probe_columns:
         Probe width when the vectorized engine runs in probe mode.
+    compute_reference:
+        Whether :meth:`GossipTrust.run` computes the exact-aggregation
+        oracle for error reporting.  The oracle costs O(n * cycles)
+        dense products; production-scale runs set this False and get
+        ``aggregation_error``/``exact_reference`` as ``None``.
     seed:
         Root RNG seed (None = fresh entropy).
     """
@@ -56,8 +66,10 @@ class GossipTrustConfig:
     epsilon: float = 1e-4
     max_cycles: int = 200
     max_gossip_steps: int = 5000
+    engine: str = "sync"
     engine_mode: str = "auto"
     probe_columns: int = 64
+    compute_reference: bool = True
     seed: Optional[int] = None
 
     def __post_init__(self) -> None:
@@ -81,6 +93,19 @@ class GossipTrustConfig:
             )
         if self.engine_mode not in ("auto", "full", "probe"):
             raise ConfigurationError(f"unknown engine_mode {self.engine_mode!r}")
+        if not self.engine or not isinstance(self.engine, str):
+            raise ConfigurationError(
+                f"engine must be a non-empty registry name, got {self.engine!r}"
+            )
+        # Validate against the live registry (imported lazily: gossip
+        # modules must stay importable without the core package).
+        from repro.gossip.factory import engine_names
+
+        if self.engine not in engine_names():
+            known = ", ".join(engine_names())
+            raise ConfigurationError(
+                f"unknown engine {self.engine!r}; registered: {known}"
+            )
         if self.probe_columns < 1:
             raise ConfigurationError(
                 f"probe_columns must be >= 1, got {self.probe_columns}"

@@ -3,23 +3,29 @@
 Orchestrates the full loop of Fig. 1(b):
 
 1. initialize ``V(0) = (1/n, ..., 1/n)``;
-2. per aggregation cycle, run the push-sum gossip protocol until the
-   epsilon criterion, yielding every node's estimate of ``S^T V(t)``;
+2. per aggregation cycle, run the gossip engine until its termination
+   criterion, yielding every node's estimate of ``S^T V(t)``;
 3. apply greedy-factor mixing toward the round's (fixed) power nodes;
 4. repeat until the average relative error between consecutive cycle
    vectors drops below delta;
 5. select the next round's power nodes from the converged vector.
 
-The gossip work is delegated to a pluggable engine — the vectorized
-:class:`~repro.gossip.engine.SynchronousGossipEngine` by default, or the
-message-level :class:`~repro.gossip.message_engine.MessageGossipEngine`
-via :class:`MessageEngineAdapter` when fault injection matters.
+The gossip work is delegated to a pluggable
+:class:`~repro.gossip.base.CycleEngine` built by
+:func:`~repro.gossip.factory.make_engine` from ``config.engine`` —
+the vectorized ``"sync"`` engine by default, the message-level
+``"message"``/``"async"`` engines when fault injection matters, or the
+DHT-ordered ``"structured"`` all-reduce.  Every cycle is recorded in a
+:class:`~repro.metrics.telemetry.CycleTelemetry` (steps, messages,
+mass loss, wall time), and an ``on_cycle`` callback exposes the stream
+to callers as it happens.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Protocol, Union
+import time
+from dataclasses import dataclass
+from typing import Callable, FrozenSet, List, Optional, Union
 
 import numpy as np
 from scipy import sparse
@@ -28,77 +34,30 @@ from repro.core.aggregation import ExactAggregation, exact_global_reputation
 from repro.core.config import GossipTrustConfig
 from repro.core.power_nodes import PowerNodeSelector
 from repro.errors import ConvergenceError, ValidationError
+from repro.gossip.base import CycleEngine, GossipCycleResult
 from repro.gossip.convergence import CycleConvergenceDetector, average_relative_error
-from repro.gossip.engine import GossipCycleResult, SynchronousGossipEngine
-from repro.gossip.message_engine import MessageGossipEngine
+from repro.gossip.factory import make_engine
+from repro.metrics.telemetry import CycleRecord, CycleTelemetry
 from repro.trust.matrix import TrustMatrix
 from repro.trust.pretrust import PretrustVector
 from repro.types import ReputationVector
 from repro.utils.logging import get_logger
 from repro.utils.rng import RngStreams, SeedLike
 
-__all__ = ["CycleEngine", "MessageEngineAdapter", "GossipTrustResult", "GossipTrust"]
+__all__ = ["GossipTrustResult", "GossipTrust"]
 
 _log = get_logger("core.gossiptrust")
-
-
-class CycleEngine(Protocol):
-    """Anything that can gossip one aggregation cycle."""
-
-    def run_cycle(self, S: TrustMatrix, v: np.ndarray) -> GossipCycleResult:
-        """Estimate ``S^T v`` by gossip; return the cycle outcome."""
-        ...  # pragma: no cover
-
-
-class MessageEngineAdapter:
-    """Adapts :class:`MessageGossipEngine` to the :class:`CycleEngine` protocol.
-
-    Extracts sparse rows from the trust matrix once (they are reused
-    across cycles) and reshapes the message-level result into a
-    :class:`GossipCycleResult`.
-    """
-
-    def __init__(self, engine: MessageGossipEngine):
-        self.engine = engine
-        self._rows_cache: Optional[List[Dict[int, float]]] = None
-        self._rows_for: Optional[int] = None
-
-    def _rows(self, S: TrustMatrix) -> List[Dict[int, float]]:
-        if self._rows_cache is None or self._rows_for != id(S):
-            csr = S.sparse()
-            rows: List[Dict[int, float]] = []
-            for i in range(S.n):
-                start, end = csr.indptr[i], csr.indptr[i + 1]
-                rows.append(
-                    {
-                        int(j): float(val)
-                        for j, val in zip(csr.indices[start:end], csr.data[start:end])
-                    }
-                )
-            self._rows_cache = rows
-            self._rows_for = id(S)
-        return self._rows_cache
-
-    def run_cycle(self, S: TrustMatrix, v: np.ndarray) -> GossipCycleResult:
-        res = self.engine.run_cycle(self._rows(S), v)
-        return GossipCycleResult(
-            v_next=res.v_next,
-            exact=res.exact,
-            steps=res.steps,
-            gossip_error=res.gossip_error,
-            converged=res.converged,
-            mode="message",
-            node_disagreement=float("nan"),
-        )
 
 
 @dataclass
 class GossipTrustResult:
     """Result of a full GossipTrust aggregation run.
 
-    ``vector`` is the converged gossiped global reputation; ``exact``
-    fields reference the noise-free computation on the same matrix for
-    error reporting.
+    ``vector`` is the converged gossiped global reputation.  When the
+    run computed the exact-aggregation oracle (``compute_reference``),
+    ``aggregation_error``/``exact_reference`` report the gossip noise
+    against it; production runs that skip the oracle leave them
+    ``None``.
     """
 
     vector: np.ndarray
@@ -108,12 +67,16 @@ class GossipTrustResult:
     #: power nodes selected FROM this round's result (for the next round)
     power_nodes: FrozenSet[int]
     cycle_results: List[GossipCycleResult]
-    #: average relative error of the final vector vs the exact reference
-    aggregation_error: float
     #: mean per-cycle gossip error
     mean_gossip_error: float
-    #: the exact reference run (same config, no gossip noise)
-    exact_reference: ExactAggregation
+    #: average relative error of the final vector vs the exact reference
+    #: (None when the oracle was skipped)
+    aggregation_error: Optional[float] = None
+    #: the exact reference run (same config, no gossip noise; None when
+    #: the oracle was skipped)
+    exact_reference: Optional[ExactAggregation] = None
+    #: per-cycle telemetry recorded during the run
+    telemetry: Optional[CycleTelemetry] = None
 
     @property
     def steps_per_cycle(self) -> List[int]:
@@ -139,8 +102,9 @@ class GossipTrust:
     config:
         Design parameters; ``config.n`` must match the matrix.
     engine:
-        Optional cycle engine; defaults to a
-        :class:`SynchronousGossipEngine` seeded from ``config.seed``.
+        Optional cycle engine — a ready :class:`CycleEngine` instance,
+        a registered engine name, or ``None`` to build ``config.engine``
+        via :func:`make_engine`.
 
     Example
     -------
@@ -160,7 +124,7 @@ class GossipTrust:
         trust: Union[TrustMatrix, np.ndarray, sparse.spmatrix],
         config: Optional[GossipTrustConfig] = None,
         *,
-        engine: Optional[CycleEngine] = None,
+        engine: Optional[Union[CycleEngine, str]] = None,
         power_nodes: Optional[FrozenSet[int]] = None,
         rng: SeedLike = None,
     ):
@@ -177,14 +141,11 @@ class GossipTrust:
                 f"config.n={self.config.n} does not match trust matrix n={n}"
             )
         streams = RngStreams(rng if rng is not None else self.config.seed)
-        if engine is None:
-            engine = SynchronousGossipEngine(
-                n,
-                epsilon=self.config.epsilon,
-                mode=self.config.engine_mode,
-                probe_columns=self.config.probe_columns,
-                max_steps=self.config.max_gossip_steps,
-                rng=streams.get("gossip"),
+        if engine is None or isinstance(engine, str):
+            engine = make_engine(
+                engine if engine is not None else self.config.engine,
+                self.config,
+                rng=streams,
             )
         self.engine = engine
         self.selector = PowerNodeSelector(
@@ -200,7 +161,14 @@ class GossipTrust:
         self.power_nodes = frozenset(power_nodes)
         self._mixing = PretrustVector(self.config.n, self.power_nodes)
 
-    def run(self, *, raise_on_budget: bool = True) -> GossipTrustResult:
+    def run(
+        self,
+        *,
+        raise_on_budget: bool = True,
+        compute_reference: Optional[bool] = None,
+        on_cycle: Optional[Callable[[CycleRecord], None]] = None,
+        telemetry: Optional[CycleTelemetry] = None,
+    ) -> GossipTrustResult:
         """Run one aggregation round (cycles to delta convergence).
 
         Power nodes stay fixed for the whole round (§3: they are
@@ -209,22 +177,40 @@ class GossipTrust:
         next round's power nodes from the converged vector, installs
         them on this system, and reports them in the result.
 
-        Raises
-        ------
-        ConvergenceError
-            If ``max_cycles`` is exhausted and ``raise_on_budget`` is
-            True.
+        Parameters
+        ----------
+        raise_on_budget:
+            Raise :class:`ConvergenceError` if ``max_cycles`` is
+            exhausted.
+        compute_reference:
+            Compute the exact-aggregation oracle for error reporting
+            (O(n * cycles) extra work).  ``None`` uses
+            ``config.compute_reference``; ``False`` leaves
+            ``aggregation_error``/``exact_reference`` as ``None`` and
+            performs no call into :mod:`repro.core.aggregation`.
+        on_cycle:
+            Callback invoked with a
+            :class:`~repro.metrics.telemetry.CycleRecord` after every
+            cycle — a lightweight hook for progress display or custom
+            metrics.
+        telemetry:
+            Recorder to append to; a fresh
+            :class:`~repro.metrics.telemetry.CycleTelemetry` is created
+            when omitted.  Attached to the result either way.
         """
         cfg = self.config
         n = cfg.n
         detector = CycleConvergenceDetector(cfg.delta)
+        recorder = telemetry if telemetry is not None else CycleTelemetry()
         v = np.full(n, 1.0 / n)
         detector.update(v)
         cycle_results: List[GossipCycleResult] = []
         converged = False
         cycles = 0
         for cycles in range(1, cfg.max_cycles + 1):
+            start = time.perf_counter()
             res = self.engine.run_cycle(self.S, v)
+            wall = time.perf_counter() - start
             v_new = res.v_next
             if cfg.alpha > 0:
                 v_new = self._mixing.mix(v_new, cfg.alpha)
@@ -234,6 +220,9 @@ class GossipTrust:
             if total > 0:
                 v_new = v_new / total
             cycle_results.append(res)
+            record = recorder.record(cycles, res, wall_time=wall)
+            if on_cycle is not None:
+                on_cycle(record)
             _log.debug(
                 "cycle %d: %d gossip steps, gossip_error=%.3g",
                 cycles,
@@ -252,9 +241,15 @@ class GossipTrust:
                 steps=cfg.max_cycles,
                 residual=detector.last_residual,
             )
-        exact = exact_global_reputation(
-            self.S, cfg, power_nodes=self.power_nodes, raise_on_budget=False
-        )
+        if compute_reference is None:
+            compute_reference = cfg.compute_reference
+        exact: Optional[ExactAggregation] = None
+        aggregation_error: Optional[float] = None
+        if compute_reference:
+            exact = exact_global_reputation(
+                self.S, cfg, power_nodes=self.power_nodes, raise_on_budget=False
+            )
+            aggregation_error = average_relative_error(v, exact.vector)
         next_power = self.selector.select(v)
         self.set_power_nodes(next_power)
         gossip_errors = [r.gossip_error for r in cycle_results]
@@ -265,7 +260,8 @@ class GossipTrust:
             total_gossip_steps=sum(r.steps for r in cycle_results),
             power_nodes=next_power,
             cycle_results=cycle_results,
-            aggregation_error=average_relative_error(v, exact.vector),
             mean_gossip_error=float(np.mean(gossip_errors)) if gossip_errors else 0.0,
+            aggregation_error=aggregation_error,
             exact_reference=exact,
+            telemetry=recorder,
         )

@@ -9,6 +9,11 @@ steps needed per aggregation cycle as the gossip error threshold
   coincide — the threshold dominates;
 * for large epsilon (>= 1e-2) network size dominates;
 * overall O(log n + log 1/epsilon), i.e. scalable.
+
+Any registered engine can execute the sweep (``engine=...`` /
+``--engine`` on the CLI); the deterministic ``structured`` all-reduce
+yields flat ``ceil(log2 n)`` curves — the contrast the §7 discussion
+draws.
 """
 
 from __future__ import annotations
@@ -19,8 +24,9 @@ import numpy as np
 
 from repro.experiments.base import ExperimentResult, mean_std, seed_range
 from repro.experiments.synthetic import synthetic_trust_matrix
-from repro.gossip.engine import SynchronousGossipEngine
+from repro.gossip.factory import make_engine
 from repro.metrics.reporting import Series, TextTable
+from repro.metrics.telemetry import CycleTelemetry
 from repro.utils.rng import RngStreams
 
 __all__ = ["run_fig3"]
@@ -37,12 +43,14 @@ def run_fig3(
     epsilons: Sequence[float] = DEFAULT_EPSILONS,
     repeats: int = 3,
     cycles_per_point: int = 3,
+    engine: str = "sync",
 ) -> ExperimentResult:
     """Measure mean gossip steps per cycle for each (n, epsilon).
 
     Per data point: build a fresh power-law trust matrix, run
-    ``cycles_per_point`` gossiped aggregation cycles in probe mode, and
-    average the step counts; repeat over ``repeats`` seeds.
+    ``cycles_per_point`` gossiped aggregation cycles (probe mode for
+    the vectorized engine), and average the step counts; repeat over
+    ``repeats`` seeds.  ``engine`` selects any registered cycle engine.
     """
     table = TextTable(
         ["n", "epsilon", "steps_mean", "steps_std"],
@@ -51,25 +59,29 @@ def run_fig3(
     )
     series = [Series(label=f"n={n}") for n in sizes]
     raw = {}
+    telemetry = CycleTelemetry()
     for si, n in enumerate(sizes):
         for eps in epsilons:
             per_seed = []
             for seed in seed_range(repeats):
                 streams = RngStreams(seed)
                 S = synthetic_trust_matrix(n, rng=streams.get("matrix"))
-                engine = SynchronousGossipEngine(
-                    n,
+                eng = make_engine(
+                    engine,
+                    n=n,
+                    rng=streams,
                     epsilon=eps,
                     mode="probe",
                     probe_columns=64,
                     max_steps=20_000,
-                    rng=streams.get("gossip"),
                 )
                 v = np.full(n, 1.0 / n)
-                for _ in range(cycles_per_point):
-                    res = engine.run_cycle(S, v)
+                steps = []
+                for cycle in range(cycles_per_point):
+                    res = telemetry.timed(cycle + 1, eng, S, v)
+                    steps.append(float(res.steps))
                     v = res.v_next / res.v_next.sum()
-                per_seed.append(float(np.mean(engine.cycle_steps)))
+                per_seed.append(float(np.mean(steps)))
             mean, std = mean_std(per_seed)
             table.add_row([n, eps, mean, std])
             series[si].add(eps, mean)
@@ -82,8 +94,11 @@ def run_fig3(
         series=series,
         data={"steps": {f"{n}/{eps:g}": raw[(n, eps)][0] for n, eps in raw}},
         notes=[
-            "Probe-mode engine: step counts measured on 64 probe columns "
-            "(all columns share the mixing matrix; see gossip/engine.py).",
+            f"engine={engine!r} via make_engine; probe-mode options apply "
+            "to the vectorized engine (all columns share the mixing "
+            "matrix; see gossip/engine.py) and are ignored by engines "
+            "that do not take them.",
+            telemetry.summary_line(),
         ],
         chart_hints={"log_x": True, "x_label": "epsilon", "y_label": "steps"},
     )

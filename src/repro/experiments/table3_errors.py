@@ -37,11 +37,15 @@ def run_table3(
     repeats: int = 3,
     alpha: float = 0.15,
     engine_mode: str = "full",
+    engine: str = "sync",
 ) -> ExperimentResult:
     """Regenerate Table 3 on synthetic power-law trust matrices.
 
     ``engine_mode='full'`` runs the protocol exactly (every node holds
     every component); at n = 1000 this is the paper's configuration.
+    ``engine`` selects any registered cycle engine by name; the
+    aggregation-error column needs the exact oracle, so the reference
+    computation stays on regardless of the config default.
     """
     table = TextTable(
         [
@@ -67,10 +71,11 @@ def run_table3(
                 epsilon=eps,
                 delta=delta,
                 engine_mode=engine_mode,
+                engine=engine,
                 seed=seed,
             )
             result = GossipTrust(S, cfg, rng=streams.get("system")).run(
-                raise_on_budget=False
+                raise_on_budget=False, compute_reference=True
             )
             cycles_l.append(float(result.cycles))
             steps_l.append(

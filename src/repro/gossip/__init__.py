@@ -1,5 +1,10 @@
 """Gossip aggregation protocols (the paper's §4-§5).
 
+* :mod:`repro.gossip.base` — the one engine contract: the
+  :class:`CycleEngine` ABC and the uniform :class:`GossipCycleResult`.
+* :mod:`repro.gossip.factory` — engine registry and
+  :func:`make_engine` factory (names: ``sync``, ``message``, ``async``,
+  ``structured``).
 * :mod:`repro.gossip.pushsum` — Algorithm 1: Kempe-style push-sum for a
   single peer's score, both a vectorized simulation and a step-scripted
   variant that replays the paper's Table 1 worked example exactly.
@@ -11,15 +16,26 @@
   large sweeps (all nodes' state in NumPy arrays).
 * :mod:`repro.gossip.message_engine` — message-level engine on the DES
   with latency, loss, link failure, and churn.
+* :mod:`repro.gossip.async_engine` — the same protocol on per-node
+  Poisson clocks (no synchronized rounds).
+* :mod:`repro.gossip.structured` — §7's DHT-ordered deterministic
+  all-reduce acceleration.
 """
 
 from repro.gossip.async_engine import AsyncMessageGossipEngine
+from repro.gossip.base import CycleEngine, GossipCycleResult
 from repro.gossip.convergence import (
     CycleConvergenceDetector,
     StepConvergenceDetector,
     average_relative_error,
 )
-from repro.gossip.engine import GossipCycleResult, SynchronousGossipEngine
+from repro.gossip.engine import SynchronousGossipEngine
+from repro.gossip.factory import (
+    DEFAULT_ENGINE,
+    engine_names,
+    make_engine,
+    register_engine,
+)
 from repro.gossip.message_engine import MessageGossipEngine, MessageGossipResult
 from repro.gossip.pushsum import PushSumResult, push_sum, scripted_push_sum
 from repro.gossip.structured import StructuredAggregationEngine
@@ -33,8 +49,13 @@ __all__ = [
     "StepConvergenceDetector",
     "CycleConvergenceDetector",
     "average_relative_error",
-    "SynchronousGossipEngine",
+    "CycleEngine",
     "GossipCycleResult",
+    "DEFAULT_ENGINE",
+    "engine_names",
+    "make_engine",
+    "register_engine",
+    "SynchronousGossipEngine",
     "MessageGossipEngine",
     "MessageGossipResult",
     "AsyncMessageGossipEngine",

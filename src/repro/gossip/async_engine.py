@@ -18,13 +18,14 @@ per-send convergence cost matches the synchronous analysis, which the
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional, Sequence
+from typing import Dict, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.errors import ValidationError
+from repro.gossip.base import CycleEngine, TrustInput, local_rows
 from repro.gossip.convergence import average_relative_error
-from repro.gossip.message_engine import MessageGossipResult
+from repro.gossip.message_engine import MessageGossipResult, _disagreement
 from repro.gossip.vector import TripletVector
 from repro.network.overlay import Overlay
 from repro.network.transport import Message, Transport
@@ -35,7 +36,7 @@ from repro.utils.validation import check_in_range, check_positive
 __all__ = ["AsyncMessageGossipEngine"]
 
 
-class AsyncMessageGossipEngine:
+class AsyncMessageGossipEngine(CycleEngine):
     """Algorithm 2 on per-node Poisson clocks.
 
     Parameters
@@ -53,6 +54,8 @@ class AsyncMessageGossipEngine:
     max_time:
         Simulated-time budget per cycle.
     """
+
+    name = "async"
 
     def __init__(
         self,
@@ -82,6 +85,7 @@ class AsyncMessageGossipEngine:
         self._states: Dict[int, TripletVector] = {}
         self._running = False
         self.sends = 0
+        self.cycle_steps = []
         for node in range(overlay.n):
             transport.register(node, self._on_message)
 
@@ -113,21 +117,23 @@ class AsyncMessageGossipEngine:
 
     def run_cycle(
         self,
-        local_rows: Sequence[Mapping[int, float]],
+        S: Union[TrustInput, Sequence[Mapping[int, float]]],
         v_prior: np.ndarray,
     ) -> MessageGossipResult:
-        """One asynchronous aggregation cycle; see the module docstring."""
+        """One asynchronous aggregation cycle; see the module docstring.
+
+        ``S`` is any form :func:`~repro.gossip.base.local_rows` accepts:
+        a :class:`~repro.trust.matrix.TrustMatrix`, raw matrix, or a
+        per-node sequence of sparse rows.
+        """
         n = self.overlay.n
-        if len(local_rows) != n:
-            raise ValidationError(
-                f"need one local row per node: {len(local_rows)} != {n}"
-            )
+        rows = local_rows(S, n)
         v_prior = np.asarray(v_prior, dtype=np.float64)
         if v_prior.shape != (n,):
             raise ValidationError(f"v_prior must have shape ({n},)")
 
         exact = np.zeros(n)
-        for i, row in enumerate(local_rows):
+        for i, row in enumerate(rows):
             if v_prior[i] == 0:
                 continue
             for j, s in row.items():
@@ -137,7 +143,7 @@ class AsyncMessageGossipEngine:
         self._states = {}
         initial_mass = 0.0
         for node in self.overlay.alive_nodes().tolist():
-            tv = TripletVector.initial(node, dict(local_rows[node]), prior_map)
+            tv = TripletVector.initial(node, dict(rows[node]), prior_map)
             self._states[node] = tv
             mx, mw = tv.mass()
             initial_mass += mx + mw
@@ -190,11 +196,14 @@ class AsyncMessageGossipEngine:
         lost = 0.0 if initial_mass == 0 else max(0.0, 1.0 - final_mass / initial_mass)
 
         equivalent_rounds = int(round(self.sends / max(1, live.size)))
+        self.cycle_steps.append(equivalent_rounds)
         return MessageGossipResult(
             v_next=v_next,
             exact=exact,
             steps=equivalent_rounds,
             converged=converged,
+            mode=self.name,
+            node_disagreement=_disagreement(node_estimates),
             messages_sent=self.transport.sent - sent_before,
             messages_dropped=self.transport.drop_count - dropped_before,
             gossip_error=average_relative_error(v_next, exact),

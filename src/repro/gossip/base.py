@@ -1,0 +1,160 @@
+"""The one engine contract every gossip executor implements.
+
+The paper's architecture (Fig. 1(b)) is a single aggregation loop
+driving an *interchangeable* gossip executor.  This module is that
+interchange point:
+
+* :class:`GossipCycleResult` — the uniform outcome of one aggregation
+  cycle, whichever engine produced it.  Besides the protocol outputs
+  (``v_next``, ``exact``, ``steps``) it carries per-cycle telemetry
+  (messages sent/dropped, mass lost) so the orchestration layer can
+  report cost uniformly.
+* :class:`CycleEngine` — the abstract base every engine subclasses:
+  ``run_cycle(S, v) -> GossipCycleResult`` where ``S`` is a
+  :class:`~repro.trust.matrix.TrustMatrix` (raw arrays and sparse
+  matrices are also coerced, for tests and ad-hoc use).
+* :func:`coerce_csr` / :func:`local_rows` — the shared input coercions,
+  so every engine accepts the same spectrum of matrix forms.
+
+Engines register themselves with :mod:`repro.gossip.factory`; the
+orchestration layer (:class:`~repro.core.gossiptrust.GossipTrust`), the
+experiments, and the CLI construct them exclusively through
+:func:`~repro.gossip.factory.make_engine`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import ClassVar, Dict, List, Mapping, Sequence, Union
+
+import numpy as np
+from scipy import sparse
+
+from repro.errors import ValidationError
+from repro.trust.matrix import TrustMatrix
+
+__all__ = [
+    "GossipCycleResult",
+    "CycleEngine",
+    "TrustInput",
+    "coerce_csr",
+    "local_rows",
+]
+
+#: anything an engine accepts as the trust matrix ``S``
+TrustInput = Union[TrustMatrix, sparse.spmatrix, np.ndarray]
+
+
+@dataclass
+class GossipCycleResult:
+    """Outcome of one gossiped aggregation cycle — any engine.
+
+    Attributes
+    ----------
+    v_next:
+        The cycle's output reputation vector.
+    exact:
+        The exact ``S^T v`` for the same cycle (error reference).
+    steps:
+        Gossip steps (or rounds) until the engine's termination
+        criterion fired.
+    gossip_error:
+        Average relative error of gossiped vs exact scores.
+    converged:
+        Whether the criterion was met within the budget.
+    mode:
+        Engine-specific execution mode (``"full"``, ``"probe"``,
+        ``"message"``, ``"async"``, ``"structured"``).
+    node_disagreement:
+        Max over sampled components of (max - min) per-node estimate at
+        termination — how far nodes are from exact consensus.  ``nan``
+        when the engine does not sample per-node state.
+    messages_sent:
+        Point-to-point messages sent during the cycle (0 for engines
+        that do not model messages).
+    messages_dropped:
+        Messages lost to the transport during the cycle.
+    mass_lost_fraction:
+        Fraction of the (x, w) push-sum mass lost to drops/departures.
+    """
+
+    v_next: np.ndarray
+    exact: np.ndarray
+    steps: int
+    gossip_error: float
+    converged: bool
+    mode: str
+    node_disagreement: float = float("nan")
+    messages_sent: int = 0
+    messages_dropped: int = 0
+    mass_lost_fraction: float = 0.0
+
+
+class CycleEngine(ABC):
+    """Abstract base of every gossip-cycle executor.
+
+    Subclasses implement :meth:`run_cycle` and set :attr:`name` (the
+    registry identifier).  They are expected to append each cycle's
+    step count to :attr:`cycle_steps` so step accounting is uniform.
+    """
+
+    #: registry name (``"sync"``, ``"message"``, ``"async"``, ``"structured"``)
+    name: ClassVar[str] = ""
+
+    #: per-cycle step log, appended by every ``run_cycle`` call
+    cycle_steps: List[int]
+
+    @abstractmethod
+    def run_cycle(self, S: TrustInput, v: np.ndarray) -> GossipCycleResult:
+        """Estimate ``S^T v`` for one aggregation cycle."""
+
+    def clear_stats(self) -> None:
+        """Reset the per-cycle step log (and any engine counters)."""
+        self.cycle_steps = []
+
+
+def coerce_csr(S: TrustInput, n: int) -> sparse.csr_matrix:
+    """Coerce any accepted matrix form to an (n, n) CSR matrix."""
+    if isinstance(S, TrustMatrix):
+        mat = S.sparse()
+    elif sparse.issparse(S):
+        mat = S.tocsr()
+    else:
+        mat = sparse.csr_matrix(np.asarray(S, dtype=np.float64))
+    if mat.shape != (n, n):
+        raise ValidationError(f"matrix shape {mat.shape} does not match engine n={n}")
+    return mat
+
+
+def local_rows(
+    S: Union[TrustInput, Sequence[Mapping[int, float]]], n: int
+) -> Sequence[Mapping[int, float]]:
+    """Per-node sparse rows ``{j: s_ij}`` from any accepted matrix form.
+
+    A :class:`TrustMatrix` serves its cached row view (computed once per
+    matrix instance — see :meth:`TrustMatrix.sparse_rows`); raw arrays
+    and sparse matrices are converted on the fly; a sequence of mappings
+    (the message engines' historical input form) passes through after a
+    length check.
+    """
+    if isinstance(S, TrustMatrix):
+        if S.n != n:
+            raise ValidationError(f"matrix n={S.n} does not match engine n={n}")
+        return S.sparse_rows()
+    if sparse.issparse(S) or isinstance(S, np.ndarray):
+        csr = coerce_csr(S, n)
+        rows: List[Dict[int, float]] = []
+        for i in range(n):
+            start, end = csr.indptr[i], csr.indptr[i + 1]
+            rows.append(
+                {
+                    int(j): float(val)
+                    for j, val in zip(csr.indices[start:end], csr.data[start:end])
+                }
+            )
+        return rows
+    rows_seq = list(S)
+    if len(rows_seq) != n:
+        raise ValidationError(f"need one local row per node: {len(rows_seq)} != {n}")
+    return rows_seq

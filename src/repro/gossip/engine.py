@@ -26,15 +26,12 @@ Two memory modes:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Union
-
 import numpy as np
 from scipy import sparse
 
 from repro.errors import ConvergenceError, ValidationError
+from repro.gossip.base import CycleEngine, GossipCycleResult, TrustInput, coerce_csr
 from repro.gossip.convergence import average_relative_error
-from repro.trust.matrix import TrustMatrix
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_in_range, check_vector
 
@@ -44,41 +41,7 @@ __all__ = ["GossipCycleResult", "SynchronousGossipEngine"]
 _FULL_MODE_LIMIT = 1500
 
 
-@dataclass
-class GossipCycleResult:
-    """Outcome of one gossiped aggregation cycle.
-
-    Attributes
-    ----------
-    v_next:
-        The cycle's output reputation vector (gossiped in full mode,
-        exact in probe mode).
-    exact:
-        The exact ``S^T v`` for the same cycle (error reference).
-    steps:
-        Gossip steps until the epsilon criterion fired.
-    gossip_error:
-        Average relative error of gossiped vs exact scores, sampled on
-        all columns (full mode) or the probe columns (probe mode).
-    converged:
-        Whether epsilon was met within the step budget.
-    mode:
-        ``"full"`` or ``"probe"``.
-    node_disagreement:
-        Max over sampled columns of (max - min) per-node estimate at
-        termination — how far nodes are from exact consensus.
-    """
-
-    v_next: np.ndarray
-    exact: np.ndarray
-    steps: int
-    gossip_error: float
-    converged: bool
-    mode: str
-    node_disagreement: float
-
-
-class SynchronousGossipEngine:
+class SynchronousGossipEngine(CycleEngine):
     """Vectorized executor of gossiped aggregation cycles.
 
     Parameters
@@ -99,6 +62,8 @@ class SynchronousGossipEngine:
     rng:
         Partner-choice randomness.
     """
+
+    name = "sync"
 
     def __init__(
         self,
@@ -134,7 +99,7 @@ class SynchronousGossipEngine:
 
     def run_cycle(
         self,
-        S: Union[TrustMatrix, sparse.spmatrix, np.ndarray],
+        S: TrustInput,
         v: np.ndarray,
         *,
         raise_on_budget: bool = True,
@@ -147,7 +112,7 @@ class SynchronousGossipEngine:
             If the epsilon criterion is not met in ``max_steps`` (unless
             ``raise_on_budget=False``, which returns the best effort).
         """
-        S_csr = self._coerce_matrix(S)
+        S_csr = coerce_csr(S, self.n)
         v = check_vector("v", v, size=self.n)
         exact = np.asarray(S_csr.T @ v).ravel()
 
@@ -197,30 +162,22 @@ class SynchronousGossipEngine:
 
     # -- internals -----------------------------------------------------------
 
-    def _coerce_matrix(self, S: Union[TrustMatrix, sparse.spmatrix, np.ndarray]) -> sparse.csr_matrix:
-        if isinstance(S, TrustMatrix):
-            mat = S.sparse()
-        elif sparse.issparse(S):
-            mat = S.tocsr()
-        else:
-            mat = sparse.csr_matrix(np.asarray(S, dtype=np.float64))
-        if mat.shape != (self.n, self.n):
-            raise ValidationError(
-                f"matrix shape {mat.shape} does not match engine n={self.n}"
-            )
-        return mat
-
     def _pick_probe_columns(self, v: np.ndarray, exact: np.ndarray) -> np.ndarray:
         """Random probe columns, always including the heaviest-mass column.
 
         Including the top column makes the probe error sample cover the
-        score that matters most for peer selection.
+        score that matters most for peer selection.  The top column is
+        retained unconditionally: deduplication drops random picks, not
+        the guaranteed column (a plain ``np.unique(...)[:p]`` truncation
+        would silently discard high indices — including the top).
         """
         p = self.probe_columns
+        if p >= self.n:
+            return np.arange(self.n)
         top = int(np.argmax(exact))
-        rest = self._rng.choice(self.n, size=min(p, self.n), replace=False)
-        cols = np.unique(np.concatenate(([top], rest)))[:p] if p < self.n else np.arange(self.n)
-        return np.sort(cols)
+        rest = self._rng.choice(self.n, size=p, replace=False)
+        cols = [top] + [int(c) for c in rest if int(c) != top][: p - 1]
+        return np.sort(np.asarray(cols, dtype=np.int64))
 
     @staticmethod
     def _estimates(X: np.ndarray, W: np.ndarray) -> np.ndarray:

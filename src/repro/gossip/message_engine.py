@@ -23,12 +23,13 @@ require error recovery mechanisms" (§2).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.errors import ConvergenceError, ValidationError
+from repro.gossip.base import CycleEngine, GossipCycleResult, TrustInput, local_rows
 from repro.gossip.convergence import average_relative_error
 from repro.gossip.vector import TripletVector
 from repro.network.overlay import Overlay
@@ -41,31 +42,32 @@ __all__ = ["MessageGossipResult", "MessageGossipEngine"]
 
 
 @dataclass
-class MessageGossipResult:
-    """Outcome of one message-level aggregation cycle."""
+class MessageGossipResult(GossipCycleResult):
+    """A :class:`GossipCycleResult` with per-node message-level detail.
 
-    #: consensus vector: per-component mean of live nodes' estimates
-    v_next: np.ndarray
-    #: exact S^T v reference computed from the same inputs
-    exact: np.ndarray
-    #: gossip rounds executed
-    steps: int
-    #: whether every live node met the epsilon criterion
-    converged: bool
-    #: messages sent / delivered / dropped during the cycle
-    messages_sent: int
-    messages_dropped: int
-    #: average relative error of v_next vs exact
-    gossip_error: float
-    #: fraction of (x, w) mass lost to drops and departures
-    mass_lost_fraction: float
+    On top of the uniform cycle fields (``v_next`` is the per-component
+    mean of live nodes' estimates; ``steps`` counts gossip rounds;
+    ``messages_sent``/``messages_dropped``/``mass_lost_fraction`` hold
+    the transport telemetry) it exposes:
+    """
+
     #: per-node estimate matrix (live nodes only, rows aligned with live ids)
-    node_estimates: np.ndarray
+    node_estimates: np.ndarray = field(default_factory=lambda: np.empty((0, 0)))
     #: live node ids corresponding to node_estimates rows
-    live_nodes: np.ndarray
+    live_nodes: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
 
 
-class MessageGossipEngine:
+def _disagreement(node_estimates: np.ndarray) -> float:
+    """Max over components of the live-node estimate spread."""
+    if node_estimates.size == 0 or not np.isfinite(node_estimates).any():
+        return float("inf")
+    finite = np.where(np.isfinite(node_estimates), node_estimates, np.nan)
+    with np.errstate(invalid="ignore"):
+        spread = np.nanmax(finite, axis=0) - np.nanmin(finite, axis=0)
+    return float(np.nanmax(spread))
+
+
+class MessageGossipEngine(CycleEngine):
     """Runs gossiped aggregation cycles as timed messages on the DES.
 
     Parameters
@@ -84,6 +86,8 @@ class MessageGossipEngine:
         Restrict partner choice to overlay neighbors (the paper permits
         either; global choice is the default analyzed by Kempe et al.).
     """
+
+    name = "message"
 
     def __init__(
         self,
@@ -116,6 +120,7 @@ class MessageGossipEngine:
         self.neighbors_only = bool(neighbors_only)
         self._rng = as_generator(rng)
         self._states: Dict[int, TripletVector] = {}
+        self.cycle_steps = []
         for node in range(overlay.n):
             transport.register(node, self._on_message)
 
@@ -146,7 +151,7 @@ class MessageGossipEngine:
 
     def run_cycle(
         self,
-        local_rows: Sequence[Mapping[int, float]],
+        S: Union[TrustInput, Sequence[Mapping[int, float]]],
         v_prior: np.ndarray,
         *,
         raise_on_budget: bool = False,
@@ -155,9 +160,11 @@ class MessageGossipEngine:
 
         Parameters
         ----------
-        local_rows:
-            ``local_rows[i]`` is node i's sparse normalized score row
-            ``{j: s_ij}`` (row of ``S``).
+        S:
+            The trust matrix — a :class:`~repro.trust.matrix.TrustMatrix`
+            (its cached sparse-row view is reused across cycles), a raw
+            array/sparse matrix, or a per-node sequence of sparse rows
+            ``{j: s_ij}``.
         v_prior:
             Previous-cycle reputation vector ``V(t-1)`` (dense, length n).
         raise_on_budget:
@@ -166,20 +173,17 @@ class MessageGossipEngine:
             injection legitimately slows convergence).
         """
         n = self.overlay.n
-        if len(local_rows) != n:
-            raise ValidationError(
-                f"need one local row per node: {len(local_rows)} != {n}"
-            )
+        rows = local_rows(S, n)
         v_prior = np.asarray(v_prior, dtype=np.float64)
         if v_prior.shape != (n,):
             raise ValidationError(f"v_prior must have shape ({n},)")
 
-        exact = self._exact_next(local_rows, v_prior)
+        exact = self._exact_next(rows, v_prior)
         prior_map = {i: float(v_prior[i]) for i in range(n)}
         self._states = {}
         initial_mass = 0.0
         for node in self.overlay.alive_nodes().tolist():
-            tv = TripletVector.initial(node, dict(local_rows[node]), prior_map)
+            tv = TripletVector.initial(node, dict(rows[node]), prior_map)
             self._states[node] = tv
             mx, mw = tv.mass()
             initial_mass += mx + mw
@@ -226,11 +230,14 @@ class MessageGossipEngine:
                 final_mass += mx + mw
         lost = 0.0 if initial_mass == 0 else max(0.0, 1.0 - final_mass / initial_mass)
 
+        self.cycle_steps.append(steps)
         return MessageGossipResult(
             v_next=v_next,
             exact=exact,
             steps=steps,
             converged=converged,
+            mode=self.name,
+            node_disagreement=_disagreement(node_estimates),
             messages_sent=self.transport.sent - sent_before,
             messages_dropped=self.transport.drop_count - dropped_before,
             gossip_error=average_relative_error(v_next, exact),
@@ -296,11 +303,11 @@ class MessageGossipEngine:
 
     @staticmethod
     def _exact_next(
-        local_rows: Sequence[Mapping[int, float]], v_prior: np.ndarray
+        rows: Sequence[Mapping[int, float]], v_prior: np.ndarray
     ) -> np.ndarray:
         n = v_prior.shape[0]
         out = np.zeros(n)
-        for i, row in enumerate(local_rows):
+        for i, row in enumerate(rows):
             vi = v_prior[i]
             if vi == 0:
                 continue

@@ -20,21 +20,19 @@ The engine mirrors :class:`~repro.gossip.engine.SynchronousGossipEngine`'s
 from __future__ import annotations
 
 import math
-from typing import Union
 
 import numpy as np
 from scipy import sparse
 
 from repro.errors import ValidationError
-from repro.gossip.engine import GossipCycleResult
+from repro.gossip.base import CycleEngine, GossipCycleResult, TrustInput, coerce_csr
 from repro.network.dht import ChordRing
-from repro.trust.matrix import TrustMatrix
 from repro.utils.validation import check_vector
 
 __all__ = ["StructuredAggregationEngine"]
 
 
-class StructuredAggregationEngine:
+class StructuredAggregationEngine(CycleEngine):
     """Exact all-reduce aggregation over a Chord ring ordering.
 
     Parameters
@@ -46,6 +44,8 @@ class StructuredAggregationEngine:
     ring_bits:
         Identifier width of the underlying ring (ordering only).
     """
+
+    name = "structured"
 
     def __init__(self, n: int, *, ring_bits: int = 32):
         if n < 2:
@@ -65,7 +65,7 @@ class StructuredAggregationEngine:
 
     def run_cycle(
         self,
-        S: Union[TrustMatrix, sparse.spmatrix, np.ndarray],
+        S: TrustInput,
         v: np.ndarray,
     ) -> GossipCycleResult:
         """Aggregate ``S^T v`` exactly in ``ceil(log2 n)`` rounds.
@@ -77,16 +77,7 @@ class StructuredAggregationEngine:
         the correction is folded into the same round count here because
         partner distance wraps).
         """
-        if isinstance(S, TrustMatrix):
-            mat = S.sparse()
-        elif sparse.issparse(S):
-            mat = S.tocsr()
-        else:
-            mat = sparse.csr_matrix(np.asarray(S, dtype=np.float64))
-        if mat.shape != (self.n, self.n):
-            raise ValidationError(
-                f"matrix shape {mat.shape} does not match engine n={self.n}"
-            )
+        mat = coerce_csr(S, self.n)
         v = check_vector("v", v, size=self.n)
         exact = np.asarray(mat.T @ v).ravel()
 
@@ -127,8 +118,9 @@ class StructuredAggregationEngine:
             steps=rounds,
             gossip_error=0.0,
             converged=True,
-            mode="structured",
+            mode=self.name,
             node_disagreement=disagreement,
+            messages_sent=n * rounds,
         )
 
     def clear_stats(self) -> None:

@@ -9,8 +9,11 @@ from repro.metrics.errors import (
     rms_relative_error,
 )
 from repro.metrics.reporting import Series, TextTable
+from repro.metrics.telemetry import CycleRecord, CycleTelemetry
 
 __all__ = [
+    "CycleRecord",
+    "CycleTelemetry",
     "rms_relative_error",
     "l1_error",
     "linf_error",

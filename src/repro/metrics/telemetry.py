@@ -1,0 +1,159 @@
+"""Per-cycle telemetry, uniform across gossip engines.
+
+Every engine reports its cycle outcome through the same
+:class:`~repro.gossip.base.GossipCycleResult` contract, so cost
+accounting is engine-agnostic: :class:`CycleTelemetry` turns a stream
+of cycle results into :class:`CycleRecord` rows — steps, messages
+sent/dropped, mass lost, gossip error, wall time — and aggregates them
+for CLI and experiment output.
+
+Two ways to feed it:
+
+* pass a :class:`CycleTelemetry` (or any ``on_cycle`` callable) to
+  :meth:`repro.core.gossiptrust.GossipTrust.run`, which records every
+  cycle automatically and attaches the recorder to the result;
+* call :meth:`CycleTelemetry.record` yourself around direct
+  ``engine.run_cycle`` calls (the experiments do this).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Iterator, List
+
+from repro.metrics.reporting import TextTable
+
+if TYPE_CHECKING:
+    from repro.gossip.base import GossipCycleResult
+
+__all__ = ["CycleRecord", "CycleTelemetry"]
+
+
+@dataclass(frozen=True)
+class CycleRecord:
+    """One aggregation cycle's cost and accuracy, any engine."""
+
+    #: 1-based aggregation-cycle index
+    cycle: int
+    #: gossip steps / rounds the cycle took
+    steps: int
+    #: point-to-point messages sent (0 for engines without messages)
+    messages_sent: int
+    #: messages lost to the transport
+    messages_dropped: int
+    #: fraction of push-sum (x, w) mass lost during the cycle
+    mass_lost_fraction: float
+    #: average relative error of the gossiped vs exact cycle vector
+    gossip_error: float
+    #: engine execution mode (``"full"``, ``"message"``, ...)
+    mode: str
+    #: wall-clock seconds spent in ``run_cycle``
+    wall_time: float
+
+
+class CycleTelemetry:
+    """Records per-cycle telemetry; usable directly as an ``on_cycle`` hook."""
+
+    def __init__(self) -> None:
+        self.records: List[CycleRecord] = []
+
+    # -- recording -------------------------------------------------------
+
+    def record(
+        self, cycle: int, result: "GossipCycleResult", *, wall_time: float = 0.0
+    ) -> CycleRecord:
+        """Append one cycle's outcome; returns the stored record."""
+        rec = CycleRecord(
+            cycle=int(cycle),
+            steps=int(result.steps),
+            messages_sent=int(result.messages_sent),
+            messages_dropped=int(result.messages_dropped),
+            mass_lost_fraction=float(result.mass_lost_fraction),
+            gossip_error=float(result.gossip_error),
+            mode=str(result.mode),
+            wall_time=float(wall_time),
+        )
+        self.records.append(rec)
+        return rec
+
+    def timed(self, cycle: int, engine, S, v) -> "GossipCycleResult":
+        """Run ``engine.run_cycle(S, v)`` and record it with wall time."""
+        start = time.perf_counter()
+        result = engine.run_cycle(S, v)
+        self.record(cycle, result, wall_time=time.perf_counter() - start)
+        return result
+
+    def __call__(self, record: CycleRecord) -> None:
+        """Accept an externally-built record (the ``on_cycle`` form)."""
+        self.records.append(record)
+
+    def clear(self) -> None:
+        """Drop all records."""
+        self.records = []
+
+    # -- aggregation -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[CycleRecord]:
+        return iter(self.records)
+
+    def summary(self) -> Dict[str, float]:
+        """Totals and means over the recorded cycles."""
+        recs = self.records
+        if not recs:
+            return {
+                "cycles": 0,
+                "total_steps": 0,
+                "messages_sent": 0,
+                "messages_dropped": 0,
+                "max_mass_lost_fraction": 0.0,
+                "mean_gossip_error": 0.0,
+                "wall_time": 0.0,
+            }
+        return {
+            "cycles": len(recs),
+            "total_steps": sum(r.steps for r in recs),
+            "messages_sent": sum(r.messages_sent for r in recs),
+            "messages_dropped": sum(r.messages_dropped for r in recs),
+            "max_mass_lost_fraction": max(r.mass_lost_fraction for r in recs),
+            "mean_gossip_error": sum(r.gossip_error for r in recs) / len(recs),
+            "wall_time": sum(r.wall_time for r in recs),
+        }
+
+    def summary_line(self) -> str:
+        """One-line cost summary for experiment notes / CLI output."""
+        s = self.summary()
+        return (
+            f"telemetry: {s['cycles']} cycles, {s['total_steps']} steps, "
+            f"{s['messages_sent']} msgs sent ({s['messages_dropped']} dropped), "
+            f"max mass lost {s['max_mass_lost_fraction']:.3g}, "
+            f"{s['wall_time']:.3f}s gossip wall time"
+        )
+
+    def render(self) -> str:
+        """Per-cycle table rendering."""
+        table = TextTable(
+            ["cycle", "mode", "steps", "msgs", "dropped", "mass_lost", "gossip_err", "wall_s"],
+            title="Per-cycle telemetry",
+            float_fmt=".3g",
+        )
+        for r in self.records:
+            table.add_row(
+                [
+                    r.cycle,
+                    r.mode,
+                    r.steps,
+                    r.messages_sent,
+                    r.messages_dropped,
+                    r.mass_lost_fraction,
+                    r.gossip_error,
+                    r.wall_time,
+                ]
+            )
+        return table.render()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"CycleTelemetry(cycles={len(self.records)})"

@@ -13,7 +13,7 @@ default, or the pre-trust/power-node distribution when one is supplied.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 from scipy import sparse
@@ -51,6 +51,8 @@ class TrustMatrix:
                 )
         self._S = matrix
         self._ST = matrix.T.tocsr()  # cached transpose for the iteration
+        #: lazily-built per-row sparse dict view (see sparse_rows)
+        self._rows: Optional[List[Dict[int, float]]] = None
 
     # -- constructors ------------------------------------------------------
 
@@ -147,6 +149,35 @@ class TrustMatrix:
     def sparse(self) -> sparse.csr_matrix:
         """The underlying CSR matrix (do not mutate)."""
         return self._S
+
+    def sparse_rows(self) -> List[Dict[int, float]]:
+        """Per-node sparse row view: ``rows[i] == {j: s_ij}``.
+
+        Computed once per matrix instance and cached *on the matrix*, so
+        the message-level engines can reuse it across cycles without the
+        stale-cache hazards of keying an external cache on ``id(S)`` (a
+        garbage-collected matrix can recycle its id).  Call
+        :meth:`invalidate_cache` after mutating the underlying CSR (an
+        operation the API otherwise forbids).
+        """
+        if self._rows is None:
+            csr = self._S
+            rows: List[Dict[int, float]] = []
+            for i in range(self.n):
+                start, end = csr.indptr[i], csr.indptr[i + 1]
+                rows.append(
+                    {
+                        int(j): float(val)
+                        for j, val in zip(csr.indices[start:end], csr.data[start:end])
+                    }
+                )
+            self._rows = rows
+        return self._rows
+
+    def invalidate_cache(self) -> None:
+        """Drop derived caches (row view, transpose) after a mutation."""
+        self._rows = None
+        self._ST = self._S.T.tocsr()
 
     def entry(self, i: int, j: int) -> float:
         """``s_ij``."""

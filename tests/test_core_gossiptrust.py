@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.config import GossipTrustConfig
-from repro.core.gossiptrust import GossipTrust, MessageEngineAdapter
+from repro.core.gossiptrust import GossipTrust
 from repro.errors import ConvergenceError, ValidationError
 from repro.gossip.message_engine import MessageGossipEngine
 from repro.network.overlay import Overlay
@@ -108,7 +108,7 @@ class TestMessageEngineIntegration:
             sim, transport, overlay, epsilon=1e-5, round_interval=1.0, rng=3
         )
         cfg = GossipTrustConfig(n=n, alpha=0.15, delta=1e-2, seed=4)
-        system = GossipTrust(S, cfg, engine=MessageEngineAdapter(msg_engine))
+        system = GossipTrust(S, cfg, engine=msg_engine)
         result = system.run(raise_on_budget=False)
         assert result.aggregation_error < 0.05
         assert result.cycle_results[0].mode == "message"

@@ -1,0 +1,121 @@
+"""Cross-engine contract suite: every registered engine, one set of laws.
+
+Each engine listed in :func:`repro.gossip.factory.engine_names` is built
+through :func:`make_engine` and driven through one aggregation cycle on
+the same fixed 16-node matrix.  The contract every engine must honor:
+
+* constructible via the factory (unknown options silently dropped);
+* mass conservation — the returned vector sums to ~1;
+* agreement with the exact product ``S^T v``;
+* determinism under a fixed seed;
+* :class:`GossipCycleResult` field invariants (steps, mode, telemetry
+  counters, per-cycle step log).
+"""
+
+import numpy as np
+import pytest
+
+from repro.gossip.base import CycleEngine, GossipCycleResult
+from repro.gossip.factory import engine_names, make_engine
+from repro.trust.matrix import TrustMatrix
+from repro.utils.rng import RngStreams
+
+N = 16
+SEED = 42
+ENGINES = engine_names()
+
+
+@pytest.fixture(scope="module")
+def fixed_S():
+    """One fixed, well-conditioned 16-node trust matrix for all engines."""
+    gen = np.random.default_rng(SEED)
+    raw = gen.random((N, N)) * (gen.random((N, N)) < 0.6)
+    np.fill_diagonal(raw, 0.0)
+    for i in range(N):
+        if raw[i].sum() == 0:
+            raw[i, (i + 1) % N] = 1.0
+    return TrustMatrix.from_dense_raw(raw)
+
+
+def build(name, seed=SEED, **options):
+    """One engine via the factory, tight epsilon, fresh seeded substrate."""
+    opts = {"epsilon": 1e-6, "max_rounds": 400, "max_steps": 20_000}
+    opts.update(options)
+    return make_engine(name, n=N, rng=RngStreams(seed), **opts)
+
+
+def run_one(name, S, seed=SEED, **options):
+    eng = build(name, seed=seed, **options)
+    v = np.full(N, 1.0 / N)
+    return eng.run_cycle(S, v)
+
+
+@pytest.mark.parametrize("name", ENGINES)
+class TestContract:
+    def test_constructible_and_is_cycle_engine(self, name):
+        eng = build(name)
+        assert isinstance(eng, CycleEngine)
+        assert eng.name == name
+        assert eng.cycle_steps == []
+
+    def test_factory_drops_unknown_options(self, name, fixed_S):
+        # The sweep loops pass one option dict to heterogeneous engines;
+        # options an engine does not take must not break construction.
+        eng = build(name, mode="probe", probe_columns=8, ring_bits=16,
+                    round_interval=2.0, completely_unknown_option=1)
+        res = eng.run_cycle(fixed_S, np.full(N, 1.0 / N))
+        assert isinstance(res, GossipCycleResult)
+
+    def test_mass_conservation(self, name, fixed_S):
+        res = run_one(name, fixed_S)
+        assert res.v_next.shape == (N,)
+        assert np.all(np.isfinite(res.v_next))
+        assert res.v_next.sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_agreement_with_exact_product(self, name, fixed_S):
+        res = run_one(name, fixed_S)
+        exact = fixed_S.dense().T @ np.full(N, 1.0 / N)
+        assert np.allclose(res.exact, exact, atol=1e-12)
+        assert np.allclose(res.v_next, exact, rtol=5e-2, atol=1e-5)
+
+    def test_seeded_determinism(self, name, fixed_S):
+        a = run_one(name, fixed_S, seed=7)
+        b = run_one(name, fixed_S, seed=7)
+        assert np.array_equal(a.v_next, b.v_next)
+        assert a.steps == b.steps
+        assert a.messages_sent == b.messages_sent
+
+    def test_result_field_invariants(self, name, fixed_S):
+        eng = build(name)
+        v = np.full(N, 1.0 / N)
+        res = eng.run_cycle(fixed_S, v)
+        assert isinstance(res, GossipCycleResult)
+        assert res.steps >= 1
+        assert res.converged
+        assert isinstance(res.mode, str) and res.mode
+        assert res.gossip_error >= 0.0
+        assert res.messages_sent >= 0
+        assert res.messages_dropped >= 0
+        assert 0.0 <= res.mass_lost_fraction <= 1.0 or np.isnan(
+            res.mass_lost_fraction
+        )
+        # Engines log per-cycle step counts and can reset them.
+        assert eng.cycle_steps == [res.steps]
+        eng.clear_stats()
+        assert eng.cycle_steps == []
+
+    def test_accepts_matrix_array_and_sparse(self, name, fixed_S):
+        # The contract takes TrustMatrix, ndarray, or scipy sparse alike.
+        v = np.full(N, 1.0 / N)
+        r1 = build(name).run_cycle(fixed_S, v)
+        r2 = build(name).run_cycle(fixed_S.dense(), v)
+        r3 = build(name).run_cycle(fixed_S.sparse(), v)
+        for r in (r2, r3):
+            assert np.allclose(r.exact, r1.exact, atol=1e-12)
+
+
+class TestStructuredExactness:
+    def test_structured_is_exact_in_log2_rounds(self, fixed_S):
+        res = run_one("structured", fixed_S)
+        assert res.gossip_error == 0.0
+        assert res.steps == 4  # ceil(log2 16)

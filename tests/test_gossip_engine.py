@@ -114,6 +114,39 @@ class TestValidationAndBudget:
         assert np.allclose(r1.exact, r2.exact)
 
 
+class TestProbeColumnSelection:
+    def test_top_mass_column_always_retained(self):
+        # Regression: the old np.unique(...)[:p] truncation kept the p
+        # *smallest* indices, silently dropping the guaranteed top-mass
+        # column whenever its index was large.
+        n, p = 100, 5
+        for seed in range(20):
+            engine = SynchronousGossipEngine(
+                n, mode="probe", probe_columns=p, rng=seed
+            )
+            exact = np.zeros(n)
+            exact[n - 1] = 1.0  # heaviest column has the largest index
+            cols = engine._pick_probe_columns(np.full(n, 1.0 / n), exact)
+            assert n - 1 in cols
+            assert cols.size == p
+            assert np.array_equal(cols, np.unique(cols))  # sorted, unique
+
+    def test_probe_count_caps_at_n(self):
+        engine = SynchronousGossipEngine(10, mode="probe", probe_columns=64, rng=0)
+        cols = engine._pick_probe_columns(np.full(10, 0.1), np.arange(10.0))
+        assert np.array_equal(cols, np.arange(10))
+
+    def test_probe_cycle_error_sample_covers_top_column(self, random_S):
+        n = random_S.n
+        engine = SynchronousGossipEngine(
+            n, epsilon=1e-5, mode="probe", probe_columns=4, rng=11
+        )
+        v = np.full(n, 1.0 / n)
+        res = engine.run_cycle(random_S, v)
+        assert res.converged
+        assert np.isfinite(res.gossip_error)
+
+
 class TestDeterminism:
     def test_same_seed_same_result(self, random_S):
         v = np.full(random_S.n, 1.0 / random_S.n)

@@ -4,7 +4,7 @@ import numpy as np
 
 from repro.baselines.centralized import CentralizedEigenvector
 from repro.core.config import GossipTrustConfig
-from repro.core.gossiptrust import GossipTrust, MessageEngineAdapter
+from repro.core.gossiptrust import GossipTrust
 from repro.experiments.synthetic import synthetic_trust_matrix
 from repro.gossip.engine import SynchronousGossipEngine
 from repro.gossip.message_engine import MessageGossipEngine
@@ -38,8 +38,7 @@ class TestEngineAgreement:
             sim, transport, overlay, epsilon=1e-7, round_interval=1.0,
             rng=streams.get("msg"),
         )
-        adapter = MessageEngineAdapter(msg_engine)
-        msg_res = adapter.run_cycle(S, v)
+        msg_res = msg_engine.run_cycle(S, v)  # engines take the matrix natively
 
         # Both approximate the same exact product.
         assert np.allclose(vec_res.exact, msg_res.exact, atol=1e-12)
@@ -91,12 +90,7 @@ class TestChurnIntegration:
             sim, transport, overlay, epsilon=1e-4, round_interval=1.0,
             max_rounds=200, rng=streams.get("msg"),
         )
-        csr = S.sparse()
-        rows = []
-        for i in range(n):
-            s, e = csr.indptr[i], csr.indptr[i + 1]
-            rows.append(dict(zip(csr.indices[s:e].tolist(), csr.data[s:e].tolist())))
-        res = engine.run_cycle(rows, np.full(n, 1.0 / n))
+        res = engine.run_cycle(S, np.full(n, 1.0 / n))
         assert np.all(np.isfinite(res.v_next))
         # Gossip still lands in the neighborhood of the exact product.
         live = res.live_nodes

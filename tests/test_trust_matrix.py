@@ -105,3 +105,61 @@ class TestOperations:
 
     def test_nnz(self, small_S):
         assert small_S.nnz >= 7  # 7 raw entries + fallback row
+
+
+class TestSparseRowsCache:
+    def test_rows_match_csr(self, small_S):
+        rows = small_S.sparse_rows()
+        dense = small_S.dense()
+        assert len(rows) == small_S.n
+        for i, row in enumerate(rows):
+            for j, val in row.items():
+                assert val == pytest.approx(dense[i, j])
+            assert sum(row.values()) == pytest.approx(1.0)
+
+    def test_cached_per_instance(self, small_S):
+        assert small_S.sparse_rows() is small_S.sparse_rows()
+
+    def test_distinct_matrices_never_share_rows(self, small_raw):
+        # Regression for the old id(S)-keyed module cache: a fresh matrix
+        # allocated at a recycled id must never see the old rows.  The
+        # cache now lives on the instance, so two matrices with different
+        # contents always produce their own row views.
+        a = TrustMatrix.from_dense_raw(small_raw)
+        rows_a = [dict(r) for r in a.sparse_rows()]
+        del a  # allow id reuse, as in the original hazard
+        flipped = small_raw[::-1, ::-1].copy()
+        b = TrustMatrix.from_dense_raw(flipped)
+        rows_b = b.sparse_rows()
+        dense_b = b.dense()
+        for i, row in enumerate(rows_b):
+            for j, val in row.items():
+                assert val == pytest.approx(dense_b[i, j])
+        assert rows_a != rows_b
+
+    def test_invalidate_cache_rebuilds_views(self, small_S):
+        rows_before = small_S.sparse_rows()
+        # Mutate the underlying CSR in place (normally forbidden) and
+        # invalidate: both the row view and the transpose must refresh.
+        csr = small_S.sparse()
+        csr.data[:] = csr.data[::-1].copy()
+        small_S.invalidate_cache()
+        rows_after = small_S.sparse_rows()
+        assert rows_after is not rows_before
+        v = np.zeros(small_S.n)
+        v[0] = 1.0
+        assert np.allclose(small_S.aggregate(v), small_S.dense().T @ v)
+
+    def test_engines_see_fresh_rows_after_invalidate(self):
+        # End-to-end guard: an engine consuming sparse_rows() must track
+        # a mutated-and-invalidated matrix, never stale cached rows.
+        from repro.gossip.base import local_rows
+
+        raw = np.array([[0.0, 2.0, 0.0], [1.0, 0.0, 1.0], [3.0, 1.0, 0.0]])
+        S = TrustMatrix.from_dense_raw(raw)
+        first = local_rows(S, 3)
+        csr = S.sparse()
+        csr.data[:] = csr.data[::-1].copy()
+        S.invalidate_cache()
+        second = local_rows(S, 3)
+        assert first != second
