@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint ci bench examples experiments docs clean
+.PHONY: install test lint ci bench bench-smoke examples experiments docs clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -24,6 +24,12 @@ ci: test lint
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Quick engine-comparison sweep (what CI's bench-smoke job runs).  Writes
+# to a scratch path so the tracked full-mode BENCH_engines.json — regenerate
+# that one with `PYTHONPATH=src python tools/bench_runner.py` — stays intact.
+bench-smoke:
+	PYTHONPATH=src $(PYTHON) tools/bench_runner.py --quick --output BENCH_engines.quick.json
 
 examples:
 	@for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f || exit 1; done

@@ -50,6 +50,12 @@ class GossipTrustConfig:
         ``"auto"``, ``"full"``, or ``"probe"`` for the vectorized engine.
     probe_columns:
         Probe width when the vectorized engine runs in probe mode.
+    check_every:
+        Convergence-check cadence of the vectorized engine: the O(n*p)
+        estimate/residual pass runs every ``check_every`` gossip steps.
+    densify_threshold:
+        Density fraction at which the vectorized engine's fast kernel
+        switches its state from CSR to dense buffers (0 = immediately).
     compute_reference:
         Whether :meth:`GossipTrust.run` computes the exact-aggregation
         oracle for error reporting.  The oracle costs O(n * cycles)
@@ -69,6 +75,8 @@ class GossipTrustConfig:
     engine: str = "sync"
     engine_mode: str = "auto"
     probe_columns: int = 64
+    check_every: int = 8
+    densify_threshold: float = 0.25
     compute_reference: bool = True
     seed: Optional[int] = None
 
@@ -109,6 +117,14 @@ class GossipTrustConfig:
         if self.probe_columns < 1:
             raise ConfigurationError(
                 f"probe_columns must be >= 1, got {self.probe_columns}"
+            )
+        if self.check_every < 1:
+            raise ConfigurationError(
+                f"check_every must be >= 1, got {self.check_every}"
+            )
+        if not 0.0 <= self.densify_threshold <= 1.0:
+            raise ConfigurationError(
+                f"densify_threshold must be in [0, 1], got {self.densify_threshold}"
             )
 
     @property

@@ -23,9 +23,13 @@ from typing import Dict, Mapping, Optional, Sequence, Union
 import numpy as np
 
 from repro.errors import ValidationError
-from repro.gossip.base import CycleEngine, TrustInput, local_rows
+from repro.gossip.base import CycleEngine, TrustInput, exact_aggregate, local_rows
 from repro.gossip.convergence import average_relative_error
-from repro.gossip.message_engine import MessageGossipResult, _disagreement
+from repro.gossip.message_engine import (
+    MessageGossipResult,
+    _batched_converged,
+    _disagreement,
+)
 from repro.gossip.vector import TripletVector
 from repro.network.overlay import Overlay
 from repro.network.transport import Message, Transport
@@ -132,18 +136,13 @@ class AsyncMessageGossipEngine(CycleEngine):
         if v_prior.shape != (n,):
             raise ValidationError(f"v_prior must have shape ({n},)")
 
-        exact = np.zeros(n)
-        for i, row in enumerate(rows):
-            if v_prior[i] == 0:
-                continue
-            for j, s in row.items():
-                exact[j] += v_prior[i] * s
+        exact = exact_aggregate(rows, v_prior, n)
 
         prior_map = {i: float(v_prior[i]) for i in range(n)}
         self._states = {}
         initial_mass = 0.0
         for node in self.overlay.alive_nodes().tolist():
-            tv = TripletVector.initial(node, dict(rows[node]), prior_map)
+            tv = TripletVector.initial(node, rows[node], prior_map, n=n)
             self._states[node] = tv
             mx, mw = tv.mass()
             initial_mass += mx + mw
@@ -156,33 +155,43 @@ class AsyncMessageGossipEngine(CycleEngine):
             self.sim.process(self._node_process(int(node)))
 
         deadline = self.sim.now + self.max_time
-        prev: Optional[Dict[int, np.ndarray]] = None
+        prev_ids: tuple = ()
+        prev_mat: Optional[np.ndarray] = None
         converged = False
         checks = 0
         while self.sim.now < deadline:
             self.sim.run(until=min(self.sim.now + self.check_interval, deadline))
             checks += 1
-            current = {
-                node: self._states[node].estimates_array(n)
+            cur_ids = tuple(
+                node
                 for node in self.overlay.alive_nodes().tolist()
                 if node in self._states
-            }
-            if prev is not None and checks >= 2 and self._quiet(current, prev):
+            )
+            cur_mat = TripletVector.estimates_matrix(
+                [self._states[node] for node in cur_ids], n
+            )
+            if (
+                prev_mat is not None
+                and checks >= 2
+                and _batched_converged(cur_ids, cur_mat, prev_ids, prev_mat, self.epsilon)
+            ):
                 converged = True
                 break
-            prev = current
+            prev_ids, prev_mat = cur_ids, cur_mat
         self._running = False
         # Drain in-flight messages: mass sent but not yet delivered is
         # not lost, it is late — let it land before accounting.
         self.sim.run(until=self.sim.now + 3.0 * max(self.transport.latency, 1e-9))
 
         live = self.overlay.alive_nodes()
-        rows_est = [
-            self._states[node].estimates_array(n)
-            for node in live.tolist()
-            if node in self._states
+        live_states = [
+            self._states[node] for node in live.tolist() if node in self._states
         ]
-        node_estimates = np.vstack(rows_est) if rows_est else np.empty((0, n))
+        node_estimates = (
+            TripletVector.estimates_matrix(live_states, n)
+            if live_states
+            else np.empty((0, n))
+        )
         with np.errstate(invalid="ignore"):
             finite = np.where(np.isfinite(node_estimates), node_estimates, np.nan)
             v_next = np.nanmean(finite, axis=0) if finite.size else np.zeros(n)
@@ -211,23 +220,6 @@ class AsyncMessageGossipEngine(CycleEngine):
             node_estimates=node_estimates,
             live_nodes=live,
         )
-
-    def _quiet(
-        self, current: Dict[int, np.ndarray], previous: Dict[int, np.ndarray]
-    ) -> bool:
-        for node, est in current.items():
-            prev = previous.get(node)
-            if prev is None:
-                return False
-            both = np.isfinite(est) & np.isfinite(prev)
-            if not both.any():
-                return False
-            if np.any(np.isfinite(est) != np.isfinite(prev)):
-                return False
-            rel = np.abs(est[both] - prev[both]) / np.maximum(np.abs(prev[both]), 1e-12)
-            if float(rel.max()) > self.epsilon:
-                return False
-        return True
 
     def __repr__(self) -> str:  # pragma: no cover
         return (

@@ -40,6 +40,7 @@ __all__ = [
     "TrustInput",
     "coerce_csr",
     "local_rows",
+    "exact_aggregate",
 ]
 
 #: anything an engine accepts as the trust matrix ``S``
@@ -125,6 +126,29 @@ def coerce_csr(S: TrustInput, n: int) -> sparse.csr_matrix:
     if mat.shape != (n, n):
         raise ValidationError(f"matrix shape {mat.shape} does not match engine n={n}")
     return mat
+
+
+def exact_aggregate(
+    S: Union[TrustInput, Sequence[Mapping[int, float]]],
+    v: np.ndarray,
+    n: int,
+) -> np.ndarray:
+    """Exact one-cycle aggregation ``S^T @ v`` as a sparse matvec.
+
+    The oracle every engine measures its gossip error against.  A
+    :class:`TrustMatrix` serves its cached transpose; matrix forms go
+    through :func:`coerce_csr`; a sequence of per-node row mappings is
+    assembled once via :func:`~repro.trust.matrix.rows_to_csr` (the
+    message engines' input form — previously an O(nnz) Python loop).
+    """
+    v = np.asarray(v, dtype=np.float64)
+    if isinstance(S, TrustMatrix):
+        return np.asarray(S.aggregate(v)).ravel()
+    if sparse.issparse(S) or isinstance(S, np.ndarray):
+        return np.asarray(coerce_csr(S, n).T @ v).ravel()
+    from repro.trust.matrix import rows_to_csr
+
+    return np.asarray(rows_to_csr(S, n).T @ v).ravel()
 
 
 def local_rows(

@@ -22,6 +22,28 @@ Two memory modes:
   next-cycle vector is then computed exactly (documented substitution —
   used for the Fig. 3 sweeps at n = 4000, where full mode would need
   hundreds of MB).
+
+Two kernels execute the step loop:
+
+* ``fast`` (default) — allocation-free segment-sum over preallocated
+  X/W/scratch buffers.  Partner draws are batched (`check_every` steps
+  per RNG call), the per-step mixing matrix ``M = 0.5*(I + A)`` is laid
+  out directly in CSR form with O(n) integer ops (bincount + stable
+  argsort) and applied with scipy's C ``csr_matvecs`` segment-sum into
+  a reused scratch buffer, the O(n*p) estimate/residual convergence
+  pass runs only every ``check_every`` steps, and X/W stay in CSR form
+  for the first few steps until their density crosses
+  ``densify_threshold`` (X0 = diag(v)@S inherits the trust matrix's
+  sparsity, so early steps are O(nnz) instead of O(n*p)).
+* ``legacy`` — the reference implementation: per-step scatter matrix
+  construction and ``0.5*(X + A@X)`` allocation chain.  Kept so the
+  contract suite can assert the fast path is protocol-identical and so
+  the benchmark trajectory records the speedup.
+
+Both kernels consume the identical partner-choice RNG stream (a
+Generator fills a ``(k, n)`` block in the same element order as ``k``
+successive size-``n`` draws), so with the same seed and ``check_every``
+they walk the same mixing-matrix sequence.
 """
 
 from __future__ import annotations
@@ -35,10 +57,53 @@ from repro.gossip.convergence import average_relative_error
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_in_range, check_vector
 
+try:  # the C segment-sum kernel behind scipy's own csr @ dense
+    from scipy.sparse._sparsetools import csr_matvecs as _csr_matvecs
+except ImportError:  # pragma: no cover - very old scipy
+    _csr_matvecs = None
+
 __all__ = ["GossipCycleResult", "SynchronousGossipEngine"]
 
 #: above this node count, auto mode switches from full to probe
 _FULL_MODE_LIMIT = 1500
+
+#: floor for relative-change denominators (see pushsum._REL_FLOOR)
+_REL_FLOOR = 1e-12
+
+#: once a coarse check sees a residual below _FINE_FACTOR * epsilon the
+#: fast kernel switches to per-step checks (Algorithm 1's granularity)
+_FINE_FACTOR = 8.0
+
+
+class _TargetStream:
+    """Batched partner draws: one ``integers`` call per ``batch`` steps.
+
+    Drawing targets in ``(batch, n)`` blocks amortizes the RNG call
+    without changing the consumed stream: a Generator fills a C-ordered
+    block in the same element order as ``batch`` successive size-``n``
+    draws, so the per-step target sequence is invariant in the batch
+    size (and identical to the legacy kernel's per-step draws).
+    """
+
+    __slots__ = ("_rng", "_n", "_batch", "_ids", "_block", "_row")
+
+    def __init__(self, rng: np.random.Generator, n: int, batch: int):
+        self._rng = rng
+        self._n = n
+        self._batch = max(1, int(batch))
+        self._ids = np.arange(n)
+        self._block: np.ndarray | None = None
+        self._row = 0
+
+    def next(self) -> np.ndarray:
+        if self._block is None or self._row >= self._block.shape[0]:
+            block = self._rng.integers(0, self._n - 1, size=(self._batch, self._n))
+            block[block >= self._ids[None, :]] += 1  # uniform over others, never self
+            self._block = block
+            self._row = 0
+        row = self._block[self._row]
+        self._row += 1
+        return row
 
 
 class SynchronousGossipEngine(CycleEngine):
@@ -59,6 +124,28 @@ class SynchronousGossipEngine(CycleEngine):
     min_steps:
         Steps before the epsilon criterion may fire (>= 2 avoids the
         vacuous all-masses-still-local state).
+    check_every:
+        Convergence-check cadence: the O(n*p) estimate/residual pass
+        runs every ``check_every`` steps instead of every step.  The
+        residual then measures the estimate change across ``check_every``
+        steps — a *stricter* reading of the epsilon criterion — so the
+        result is invariant modulo step-count granularity while the
+        per-step cost drops by nearly the full estimate-pass share.
+        The fast kernel additionally drops to per-step checks once a
+        residual lands within ``_FINE_FACTOR`` of epsilon, so the
+        finish line is resolved at Algorithm 1's per-step granularity
+        and the cadence never overshoots the stop step by more than
+        the coarse phase.
+    densify_threshold:
+        Keep X/W in CSR form until either's density crosses this
+        fraction; ``0`` densifies immediately.  Only the fast kernel
+        uses it — convergence cannot fire while W is sparse (the
+        criterion needs ``W > 0`` everywhere), so the sparse phase is
+        pure O(nnz) mixing.
+    kernel:
+        ``"fast"`` (in-place scatter-add kernel) or ``"legacy"`` (the
+        reference per-step matrix construction).  Protocol-identical;
+        see the module docstring.
     rng:
         Partner-choice randomness.
     """
@@ -74,23 +161,34 @@ class SynchronousGossipEngine(CycleEngine):
         probe_columns: int = 64,
         max_steps: int = 5_000,
         min_steps: int = 2,
+        check_every: int = 8,
+        densify_threshold: float = 0.25,
+        kernel: str = "fast",
         rng: SeedLike = None,
     ):
         if n < 2:
             raise ValidationError(f"gossip needs n >= 2 nodes, got {n}")
         if mode not in ("auto", "full", "probe"):
             raise ValidationError(f"unknown mode {mode!r}")
+        if kernel not in ("fast", "legacy"):
+            raise ValidationError(f"unknown kernel {kernel!r}")
         check_in_range("epsilon", epsilon, low=0.0, low_inclusive=False)
         if probe_columns < 1:
             raise ValidationError(f"probe_columns must be >= 1, got {probe_columns}")
         if max_steps < 1:
             raise ValidationError(f"max_steps must be >= 1, got {max_steps}")
+        if check_every < 1:
+            raise ValidationError(f"check_every must be >= 1, got {check_every}")
+        check_in_range("densify_threshold", densify_threshold, low=0.0, high=1.0)
         self.n = int(n)
         self.epsilon = float(epsilon)
         self.mode = mode if mode != "auto" else ("full" if n <= _FULL_MODE_LIMIT else "probe")
         self.probe_columns = int(min(probe_columns, n))
         self.max_steps = int(max_steps)
         self.min_steps = int(min_steps)
+        self.check_every = int(check_every)
+        self.densify_threshold = float(densify_threshold)
+        self.kernel = kernel
         self._rng = as_generator(rng)
         #: steps used by each cycle run so far (reset via clear_stats)
         self.cycle_steps: list = []
@@ -116,24 +214,33 @@ class SynchronousGossipEngine(CycleEngine):
         v = check_vector("v", v, size=self.n)
         exact = np.asarray(S_csr.T @ v).ravel()
 
+        X0 = (sparse.diags(v) @ S_csr).tocsr()  # X0[i, j] = v_i * s_ij
         if self.mode == "full":
-            X0 = sparse.diags(v) @ S_csr  # X0[i, j] = v_i * s_ij
-            X = np.asarray(X0.todense(), dtype=np.float64)
-            W = np.eye(self.n)
             cols = np.arange(self.n)
+            W0 = sparse.identity(self.n, format="csr", dtype=np.float64)
         else:
             cols = self._pick_probe_columns(v, exact)
-            X0 = sparse.diags(v) @ S_csr
-            X = np.asarray(X0[:, cols].todense(), dtype=np.float64)
-            W = np.zeros((self.n, cols.size))
-            W[cols, np.arange(cols.size)] = 1.0
+            X0 = sparse.csr_matrix(X0[:, cols])
+            W0 = sparse.csr_matrix(
+                (np.ones(cols.size), (cols, np.arange(cols.size))),
+                shape=(self.n, cols.size),
+            )
 
-        X, W, steps, converged = self._gossip_until_epsilon(
-            X, W, raise_on_budget=raise_on_budget
-        )
+        B = None
+        if self.kernel == "legacy":
+            X, W, steps, converged = self._gossip_until_epsilon(
+                np.asarray(X0.todense(), dtype=np.float64),
+                np.asarray(W0.todense(), dtype=np.float64),
+                raise_on_budget=raise_on_budget,
+            )
+        else:
+            X, W, steps, converged, B = self._gossip_fast(
+                X0, W0, raise_on_budget=raise_on_budget
+            )
         self.cycle_steps.append(steps)
 
-        B = self._estimates(X, W)
+        if B is None:
+            B = self._estimates(X, W)
         col_means = np.nanmean(np.where(np.isfinite(B), B, np.nan), axis=0)
         disagreement = float(
             np.nanmax(np.nanmax(B, axis=0) - np.nanmin(B, axis=0))
@@ -170,12 +277,18 @@ class SynchronousGossipEngine(CycleEngine):
         retained unconditionally: deduplication drops random picks, not
         the guaranteed column (a plain ``np.unique(...)[:p]`` truncation
         would silently discard high indices — including the top).
+
+        The draw comes from a *spawned* child generator, not the
+        partner-choice stream: full and probe runs with the same seed
+        therefore see identical mixing-matrix sequences, which is what
+        makes probe-mode step counts directly comparable to full mode.
         """
         p = self.probe_columns
         if p >= self.n:
             return np.arange(self.n)
         top = int(np.argmax(exact))
-        rest = self._rng.choice(self.n, size=p, replace=False)
+        col_rng = self._rng.spawn(1)[0]
+        rest = col_rng.choice(self.n, size=p, replace=False)
         cols = [top] + [int(c) for c in rest if int(c) != top][: p - 1]
         return np.sort(np.asarray(cols, dtype=np.int64))
 
@@ -184,11 +297,172 @@ class SynchronousGossipEngine(CycleEngine):
         with np.errstate(divide="ignore", invalid="ignore"):
             return np.where(W > 0, X / np.where(W > 0, W, 1.0), np.nan)
 
+    # -- fast kernel -------------------------------------------------------
+
+    @staticmethod
+    def _mixing_matrix(targets: np.ndarray, n: int, ids: np.ndarray) -> sparse.csr_matrix:
+        """Assemble ``M = 0.5 * (I + A)`` directly in CSR form.
+
+        Row ``r`` stores the sender columns ``{i : targets[i] == r}`` in
+        ascending order followed by the diagonal entry ``r``.  Built
+        from a bincount + stable argsort — O(n) integer work, no
+        COO -> CSR conversion, no duplicate summing.  Used for the
+        sparse warm-start phase, where one spmm per step beats
+        densifying early.
+        """
+        counts = np.bincount(targets, minlength=n)
+        indptr = np.zeros(n + 1, dtype=np.int32)
+        np.cumsum(counts + 1, out=indptr[1:])
+        order = np.argsort(targets, kind="stable")
+        sorted_t = targets[order]
+        starts = np.flatnonzero(
+            np.concatenate(([True], sorted_t[1:] != sorted_t[:-1]))
+        )
+        seg_origin = np.repeat(starts, np.diff(np.append(starts, n)))
+        indices = np.empty(2 * n, dtype=np.int32)
+        indices[indptr[sorted_t] + (ids - seg_origin)] = order
+        indices[indptr[1:] - 1] = ids
+        data = np.full(2 * n, 0.5)
+        return sparse.csr_matrix((data, indices, indptr), shape=(n, n))
+
+    def _gossip_fast(
+        self, Xs: sparse.csr_matrix, Ws: sparse.csr_matrix, *, raise_on_budget: bool
+    ):
+        """Step loop over preallocated buffers — no per-step allocations.
+
+        One dense step is two C-level segment-sums: the half-step
+        matrix ``M = 0.5*(I + A)`` is laid out directly in CSR form
+        (O(n) integer ops) and applied with scipy's ``csr_matvecs``
+        kernel into reused X/W scratch buffers, then the buffers swap.
+        The O(n*p) estimate/residual pass runs every ``check_every``
+        steps — dropping to every step once a residual comes within
+        ``_FINE_FACTOR`` of epsilon — and never before ``W`` is
+        positive everywhere (before that the residual cannot be
+        finite).
+        """
+        n = self.n
+        p = Xs.shape[1]
+        k = self.check_every
+        stream = _TargetStream(self._rng, n, k)
+        ids = np.arange(n)
+        step = 0
+        converged = False
+
+        # Sparse warm-start: X0 inherits S's sparsity and each step at
+        # most doubles nnz, so only ~log2(1/density0) steps run here.
+        # No convergence checks — the criterion needs W > 0 everywhere,
+        # impossible while W is stored sparse.
+        thr = self.densify_threshold * float(n * p)
+        while step < self.max_steps and Xs.nnz < thr and Ws.nnz < thr:
+            M = self._mixing_matrix(stream.next(), n, ids)
+            Xs = M @ Xs
+            Ws = M @ Ws
+            step += 1
+
+        X = np.empty((n, p), dtype=np.float64)
+        W = np.empty((n, p), dtype=np.float64)
+        Xs.toarray(out=X)
+        Ws.toarray(out=W)
+        sX = np.empty_like(X)
+        sW = np.empty_like(W)
+        half = np.full(n, 0.5)
+        indptr = np.zeros(n + 1, dtype=np.int32)
+        est = np.empty((n, p))
+        prev = np.empty((n, p))
+        blk = max(1, min(n, (1 << 17) // max(p, 1)))  # ~1 MiB residual chunks
+        num = np.empty((blk, p))
+        den = np.empty((blk, p))
+        have_prev = False
+        w_allpos = False
+        fine = False  # per-step checks once a residual nears epsilon
+        fine_at = _FINE_FACTOR * self.epsilon
+
+        while step < self.max_steps:
+            step += 1
+            targets = stream.next()
+            # One gossip step for X and W: each scratch buffer starts as
+            # the halved kept share, then scipy's C segment-sum kernel
+            # adds each receiver's inbound halves (senders in ascending
+            # order — A laid out in CSR by a stable argsort).
+            np.cumsum(np.bincount(targets, minlength=n), out=indptr[1:])
+            senders = np.argsort(targets, kind="stable").astype(np.int32)
+            np.multiply(X, 0.5, out=sX)
+            np.multiply(W, 0.5, out=sW)
+            if _csr_matvecs is not None:
+                _csr_matvecs(n, n, p, indptr, senders, half, X.ravel(), sX.ravel())
+                _csr_matvecs(n, n, p, indptr, senders, half, W.ravel(), sW.ravel())
+            else:  # pragma: no cover - very old scipy
+                A = sparse.csr_matrix((half, senders, indptr), shape=(n, n))
+                sX += A @ X
+                sW += A @ W
+            X, sX = sX, X
+            W, sW = sW, W
+
+            if step < self.min_steps or (not fine and step % k):
+                continue
+            if not w_allpos:
+                # W only gains mass, so once all-positive it stays so
+                # and this O(n*p) scan stops running.
+                w_allpos = bool(W.min() > 0.0)
+                if not w_allpos:
+                    continue
+            np.divide(X, W, out=est)
+            if have_prev:
+                # Relative change across the last check window, scanned
+                # in chunks: far from convergence the first chunk
+                # already exceeds epsilon, so the full O(n*p) residual
+                # pass only runs near the finish line.
+                converged = True
+                worst = 0.0
+                for lo in range(0, n, blk):
+                    hi = min(lo + blk, n)
+                    e = est[lo:hi]
+                    q = prev[lo:hi]
+                    m = hi - lo
+                    np.subtract(e, q, out=num[:m])
+                    np.abs(num[:m], out=num[:m])
+                    np.maximum(q, _REL_FLOOR, out=den[:m])
+                    num[:m] /= den[:m]
+                    worst = max(worst, float(num[:m].max()))
+                    if worst > self.epsilon:
+                        converged = False
+                        break
+                if converged:
+                    break
+                # Close to the finish line: resolve the stop step at
+                # Algorithm 1's per-step granularity instead of paying
+                # up to check_every - 1 extra O(n*p) gossip steps.
+                fine = fine or worst <= fine_at
+            est, prev = prev, est  # prev now holds this check's estimates
+            have_prev = True
+
+        if not converged and raise_on_budget:
+            raise ConvergenceError(
+                f"gossip cycle exceeded {self.max_steps} steps (epsilon={self.epsilon})",
+                steps=self.max_steps,
+            )
+        # At convergence W > 0 everywhere and est holds the estimates of
+        # the final state, so run_cycle can skip its estimate pass.
+        return X, W, step, converged, (est if converged else None)
+
+    # -- legacy kernel -----------------------------------------------------
+
     def _gossip_until_epsilon(self, X: np.ndarray, W: np.ndarray, *, raise_on_budget: bool):
+        """Reference step loop (``kernel="legacy"``): allocating arithmetic.
+
+        Kept verbatim in spirit — per-step scatter-matrix construction
+        and ``0.5*(X + A@X)`` — as the ground truth the fast kernel is
+        tested against and benchmarked over.  The estimate pass is
+        hoisted behind the convergence guard: it used to run on every
+        step even when ``step < min_steps`` or ``W`` still had zero
+        entries (where the residual cannot be finite), wasting an
+        O(n*p) pass per skipped step.
+        """
         n = self.n
         ids = np.arange(n)
         ones = np.ones(n)
-        prev = self._estimates(X, W)
+        k = self.check_every
+        prev = None
         for step in range(1, self.max_steps + 1):
             targets = self._rng.integers(0, n - 1, size=n)
             targets[targets >= ids] += 1  # uniform over others, never self
@@ -198,10 +472,14 @@ class SynchronousGossipEngine(CycleEngine):
             A = sparse.csr_matrix((ones, (targets, ids)), shape=(n, n))
             X = 0.5 * (X + A @ X)
             W = 0.5 * (W + A @ W)
+            if step < self.min_steps or step % k:
+                continue
+            if not np.all(W > 0):
+                continue
             est = self._estimates(X, W)
-            if step >= self.min_steps and np.all(W > 0):
+            if prev is not None:
                 # Relative per-step change, scale-free in n (see pushsum).
-                resid = np.abs(est - prev) / np.maximum(np.abs(prev), 1e-12)
+                resid = np.abs(est - prev) / np.maximum(np.abs(prev), _REL_FLOOR)
                 if np.all(np.isfinite(resid)) and float(resid.max()) <= self.epsilon:
                     return X, W, step, True
             prev = est
@@ -215,5 +493,5 @@ class SynchronousGossipEngine(CycleEngine):
     def __repr__(self) -> str:  # pragma: no cover
         return (
             f"SynchronousGossipEngine(n={self.n}, mode={self.mode!r}, "
-            f"epsilon={self.epsilon})"
+            f"kernel={self.kernel!r}, epsilon={self.epsilon})"
         )

@@ -186,6 +186,8 @@ def _build_sync(n, config, streams, sim, transport, overlay, overrides):
         mode=config.engine_mode,
         probe_columns=config.probe_columns,
         max_steps=config.max_gossip_steps,
+        check_every=config.check_every,
+        densify_threshold=config.densify_threshold,
         rng=streams.get("gossip"),
     )
     kwargs.update(constructor_kwargs(SynchronousGossipEngine, overrides))

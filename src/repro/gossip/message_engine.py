@@ -24,12 +24,18 @@ require error recovery mechanisms" (§2).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Sequence, Union
+from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.errors import ConvergenceError, ValidationError
-from repro.gossip.base import CycleEngine, GossipCycleResult, TrustInput, local_rows
+from repro.gossip.base import (
+    CycleEngine,
+    GossipCycleResult,
+    TrustInput,
+    exact_aggregate,
+    local_rows,
+)
 from repro.gossip.convergence import average_relative_error
 from repro.gossip.vector import TripletVector
 from repro.network.overlay import Overlay
@@ -59,12 +65,55 @@ class MessageGossipResult(GossipCycleResult):
 
 def _disagreement(node_estimates: np.ndarray) -> float:
     """Max over components of the live-node estimate spread."""
-    if node_estimates.size == 0 or not np.isfinite(node_estimates).any():
+    known = np.isfinite(node_estimates)
+    if node_estimates.size == 0 or not known.any():
         return float("inf")
-    finite = np.where(np.isfinite(node_estimates), node_estimates, np.nan)
+    finite = np.where(known, node_estimates, np.nan)
+    # Only components some node knows — all-nan columns carry no
+    # disagreement signal (and nanmax would warn on them).
+    finite = finite[:, known.any(axis=0)]
     with np.errstate(invalid="ignore"):
         spread = np.nanmax(finite, axis=0) - np.nanmin(finite, axis=0)
     return float(np.nanmax(spread))
+
+
+def _batched_converged(
+    cur_ids: Tuple[int, ...],
+    cur: np.ndarray,
+    prev_ids: Tuple[int, ...],
+    prev: np.ndarray,
+    epsilon: float,
+) -> bool:
+    """Epsilon criterion over the whole live population in one pass.
+
+    ``cur``/``prev`` are ``(len(ids), n)`` estimate matrices from
+    :meth:`~repro.gossip.vector.TripletVector.estimates_matrix`.  The
+    semantics match the historical per-node loop: every current node
+    must have been sampled last round, its finite pattern must be
+    unchanged (newly-heard-of peers mean mass is still spreading), it
+    must have at least one finite estimate, and the relative change over
+    finite entries must not exceed ``epsilon`` anywhere.
+    """
+    if len(cur_ids) == 0:
+        return True
+    if cur_ids == prev_ids:
+        aligned = prev
+    else:
+        pos = {node: i for i, node in enumerate(prev_ids)}
+        idx = [pos.get(node, -1) for node in cur_ids]
+        if min(idx) < 0:
+            return False
+        aligned = prev[idx]
+    finite = np.isfinite(cur)
+    if (finite != np.isfinite(aligned)).any():
+        return False
+    if not finite.any(axis=1).all():
+        return False
+    with np.errstate(invalid="ignore"):
+        num = np.abs(np.where(finite, cur - aligned, 0.0))
+        den = np.maximum(np.abs(np.where(finite, aligned, 1.0)), 1e-12)
+        worst = float((num / den).max())
+    return worst <= epsilon
 
 
 class MessageGossipEngine(CycleEngine):
@@ -178,35 +227,39 @@ class MessageGossipEngine(CycleEngine):
         if v_prior.shape != (n,):
             raise ValidationError(f"v_prior must have shape ({n},)")
 
-        exact = self._exact_next(rows, v_prior)
+        exact = exact_aggregate(rows, v_prior, n)
         prior_map = {i: float(v_prior[i]) for i in range(n)}
         self._states = {}
         initial_mass = 0.0
         for node in self.overlay.alive_nodes().tolist():
-            tv = TripletVector.initial(node, dict(rows[node]), prior_map)
+            tv = TripletVector.initial(node, rows[node], prior_map, n=n)
             self._states[node] = tv
             mx, mw = tv.mass()
             initial_mass += mx + mw
 
         sent_before = self.transport.sent
         dropped_before = self.transport.drop_count
-        prev_estimates: Optional[Dict[int, np.ndarray]] = None
+        prev_ids: Tuple[int, ...] = ()
+        prev_mat: Optional[np.ndarray] = None
         steps = 0
         converged = False
         for round_no in range(1, self.max_rounds + 1):
             self._gossip_round()
             self.sim.run(until=self.sim.now + self.round_interval)
             steps = round_no
-            current = {
-                node: self._states[node].estimates_array(n)
+            cur_ids = tuple(
+                node
                 for node in self.overlay.alive_nodes().tolist()
                 if node in self._states
-            }
-            if prev_estimates is not None and round_no >= self.min_rounds:
-                if self._all_converged(current, prev_estimates):
+            )
+            cur_mat = TripletVector.estimates_matrix(
+                [self._states[node] for node in cur_ids], n
+            )
+            if prev_mat is not None and round_no >= self.min_rounds:
+                if _batched_converged(cur_ids, cur_mat, prev_ids, prev_mat, self.epsilon):
                     converged = True
                     break
-            prev_estimates = current
+            prev_ids, prev_mat = cur_ids, cur_mat
         if not converged and raise_on_budget:
             raise ConvergenceError(
                 f"message gossip exceeded {self.max_rounds} rounds",
@@ -214,9 +267,11 @@ class MessageGossipEngine(CycleEngine):
             )
 
         live = self.overlay.alive_nodes()
-        rows = [self._states[node].estimates_array(n) for node in live.tolist() if node in self._states]
+        live_states = [self._states[node] for node in live.tolist() if node in self._states]
         node_estimates = (
-            np.vstack(rows) if rows else np.empty((0, n))
+            TripletVector.estimates_matrix(live_states, n)
+            if live_states
+            else np.empty((0, n))
         )
         with np.errstate(invalid="ignore"):
             finite = np.where(np.isfinite(node_estimates), node_estimates, np.nan)
@@ -279,40 +334,6 @@ class MessageGossipEngine(CycleEngine):
                 store = BloomReputationStore(bracket_bits=bracket_bits)
                 store.build(scores)
                 out[node] = store
-        return out
-
-    # -- helpers -----------------------------------------------------------
-
-    def _all_converged(
-        self, current: Dict[int, np.ndarray], previous: Dict[int, np.ndarray]
-    ) -> bool:
-        for node, est in current.items():
-            prev = previous.get(node)
-            if prev is None:
-                return False
-            both = np.isfinite(est) & np.isfinite(prev)
-            # A node with no finite estimates yet cannot have converged.
-            if not both.any():
-                return False
-            if np.any(np.isfinite(est) != np.isfinite(prev)):
-                return False
-            rel = np.abs(est[both] - prev[both]) / np.maximum(np.abs(prev[both]), 1e-12)
-            if float(rel.max()) > self.epsilon:
-                return False
-        return True
-
-    @staticmethod
-    def _exact_next(
-        rows: Sequence[Mapping[int, float]], v_prior: np.ndarray
-    ) -> np.ndarray:
-        n = v_prior.shape[0]
-        out = np.zeros(n)
-        for i, row in enumerate(rows):
-            vi = v_prior[i]
-            if vi == 0:
-                continue
-            for j, s in row.items():
-                out[j] += vi * s
         return out
 
     def __repr__(self) -> str:  # pragma: no cover

@@ -74,18 +74,18 @@ def push_sum_step(
     """One synchronous push-sum step given each node's chosen target.
 
     Node ``i`` keeps ``(x_i/2, w_i/2)`` and delivers the other half to
-    ``targets[i]``.  Implemented as a scatter-add so a step over all
-    nodes is O(n) with no Python loop.
+    ``targets[i]``.  The inbound halves are grouped with ``np.bincount``
+    (a C segment-sum keyed on the target ids) rather than the much
+    slower unbuffered ``np.add.at`` — same sender-ascending accumulation
+    order per receiver, so scripted replays stay bit-for-bit.
     """
     n = x.shape[0]
     if targets.shape != (n,):
         raise ValidationError(f"targets must have shape ({n},), got {targets.shape}")
     half_x = 0.5 * x
     half_w = 0.5 * w
-    new_x = half_x.copy()
-    new_w = half_w.copy()
-    np.add.at(new_x, targets, half_x)
-    np.add.at(new_w, targets, half_w)
+    new_x = half_x + np.bincount(targets, weights=half_x, minlength=n)
+    new_w = half_w + np.bincount(targets, weights=half_w, minlength=n)
     return new_x, new_w
 
 

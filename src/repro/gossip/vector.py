@@ -7,11 +7,19 @@ the other, and merges arriving halves component-wise (Algorithm 2 lines
 12-19).  This class is the per-node data structure used by the
 message-level engine; the vectorized engine flattens the same state into
 arrays.
+
+The triplet store is id-indexed NumPy arrays rather than dicts: ``x``
+and ``w`` mass live at position ``j`` for peer ``j``, so halve/merge are
+single vectorized passes and a whole population's estimates batch into
+one matrix op (:meth:`TripletVector.estimates_matrix`).  The *logical*
+sparsity of the paper's payload is preserved — an id is "known" exactly
+when it carries any mass, and :meth:`payload_size` counts known ids, not
+array capacity.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Mapping, Tuple
+from typing import Iterator, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -22,24 +30,35 @@ __all__ = ["TripletVector"]
 
 
 class TripletVector:
-    """A node's gossiped reputation vector: ``{peer id -> (x, w)}``.
+    """A node's gossiped reputation vector: ``x``/``w`` mass per peer id.
 
     The vector is sparse in ids — entries a node has never heard about
-    are absent (their implied mass is zero), which is what keeps
-    per-message payloads proportional to the number of *known* peers.
+    carry zero mass and are absent from :meth:`known_ids`, which is what
+    keeps per-message payloads proportional to the number of *known*
+    peers.  Arrays grow on demand when a merge brings news of higher
+    ids than this node has seen.
     """
 
-    __slots__ = ("_x", "_w")
+    __slots__ = ("_x", "_w", "_known", "_size")
 
-    def __init__(self) -> None:
-        self._x: Dict[int, float] = {}
-        self._w: Dict[int, float] = {}
+    def __init__(self, capacity: int = 0) -> None:
+        self._x = np.zeros(capacity)
+        self._w = np.zeros(capacity)
+        #: cached ascending known-id tuple; None when stale
+        self._known: Optional[Tuple[int, ...]] = None
+        #: cached known-id count; None when stale
+        self._size: Optional[int] = None
 
     # -- construction ------------------------------------------------------
 
     @classmethod
     def initial(
-        cls, owner: int, local_scores: Mapping[int, float], prior: Mapping[int, float]
+        cls,
+        owner: int,
+        local_scores: Mapping[int, float],
+        prior: Mapping[int, float],
+        *,
+        n: Optional[int] = None,
     ) -> "TripletVector":
         """Cycle initialization (Algorithm 2 lines 5-11) for node ``owner``.
 
@@ -56,8 +75,13 @@ class TripletVector:
             Previous-cycle reputation estimates ``{i: v_i(t-1)}``; only
             ``prior[owner]`` is needed here, passed as a mapping for
             symmetry with the engines.
+        n:
+            Optional population size; sizing the arrays up front avoids
+            any growth during the cycle.
         """
-        tv = cls()
+        cap = int(n) if n is not None else 0
+        cap = max(cap, owner + 1, *(int(j) + 1 for j in local_scores), 1)
+        tv = cls(cap)
         v_own = float(prior.get(owner, 0.0))
         for j, s in local_scores.items():
             if s < 0:
@@ -67,6 +91,15 @@ class TripletVector:
         tv._w[owner] = 1.0
         return tv
 
+    def _grow_to(self, capacity: int) -> None:
+        if capacity > self._x.shape[0]:
+            x = np.zeros(capacity)
+            w = np.zeros(capacity)
+            x[: self._x.shape[0]] = self._x
+            w[: self._w.shape[0]] = self._w
+            self._x = x
+            self._w = w
+
     # -- gossip operations ---------------------------------------------------
 
     def halve(self) -> "TripletVector":
@@ -75,61 +108,99 @@ class TripletVector:
         After the call, *this* vector holds the kept half and the
         returned vector holds the sent half (they are equal).
         """
-        sent = TripletVector()
-        for j in self._x:
-            self._x[j] *= 0.5
-        for j in self._w:
-            self._w[j] *= 0.5
-        sent._x = dict(self._x)
-        sent._w = dict(self._w)
-        return sent
+        self._x *= 0.5
+        self._w *= 0.5
+        return self.copy()
 
     def merge(self, other: "TripletVector") -> None:
         """Component-wise sum of an arriving half-share (line 15)."""
-        for j, xv in other._x.items():
-            self._x[j] = self._x.get(j, 0.0) + xv
-        for j, wv in other._w.items():
-            self._w[j] = self._w.get(j, 0.0) + wv
+        m = other._x.shape[0]
+        self._grow_to(m)
+        self._x[:m] += other._x
+        self._w[:m] += other._w
+        self._known = None
+        self._size = None
 
     # -- accessors ------------------------------------------------------------
 
     def triplet(self, j: int) -> Triplet:
         """The ``<x_j, j, w_j>`` triplet (zeros if unknown)."""
-        return Triplet(x=self._x.get(j, 0.0), node=j, w=self._w.get(j, 0.0))
+        if 0 <= j < self._x.shape[0]:
+            return Triplet(x=float(self._x[j]), node=j, w=float(self._w[j]))
+        return Triplet(x=0.0, node=j, w=0.0)
 
     def estimate(self, j: int) -> float:
         """Gossiped score ``beta_j = x_j / w_j`` for peer ``j``."""
         return self.triplet(j).estimate
 
     def known_ids(self) -> Tuple[int, ...]:
-        """Peer ids with any mass (x or w) at this node, ascending."""
-        return tuple(sorted(set(self._x) | set(self._w)))
+        """Peer ids with any mass (x or w) at this node, ascending.
+
+        Cached — halving scales mass but cannot create or destroy known
+        ids, so only :meth:`merge` invalidates.
+        """
+        if self._known is None:
+            self._known = tuple(np.flatnonzero((self._x > 0) | (self._w > 0)).tolist())
+            self._size = len(self._known)
+        return self._known
 
     def estimates_array(self, n: int) -> np.ndarray:
         """Dense length-``n`` estimate vector (nan where w == 0 and x == 0)."""
         out = np.full(n, np.nan)
-        for j in range(n):
-            w = self._w.get(j, 0.0)
-            x = self._x.get(j, 0.0)
-            if w > 0:
-                out[j] = x / w
-            elif x > 0:
-                out[j] = np.inf
+        m = min(n, self._x.shape[0])
+        x = self._x[:m]
+        w = self._w[:m]
+        pos = w > 0
+        np.divide(x, w, out=out[:m], where=pos)
+        out[:m][~pos & (x > 0)] = np.inf
+        return out
+
+    @staticmethod
+    def estimates_matrix(vectors: Sequence["TripletVector"], n: int) -> np.ndarray:
+        """Stacked :meth:`estimates_array` for many vectors in one pass.
+
+        Returns an ``(len(vectors), n)`` matrix — the per-round
+        convergence test and the end-of-cycle aggregation both consume
+        the whole population at once, so batching replaces O(n) Python
+        per node with two matrix ops.
+        """
+        m = len(vectors)
+        X = np.zeros((m, n))
+        W = np.zeros((m, n))
+        for i, tv in enumerate(vectors):
+            k = min(n, tv._x.shape[0])
+            X[i, :k] = tv._x[:k]
+            W[i, :k] = tv._w[:k]
+        out = np.full((m, n), np.nan)
+        pos = W > 0
+        np.divide(X, W, out=out, where=pos)
+        out[~pos & (X > 0)] = np.inf
         return out
 
     def mass(self) -> Tuple[float, float]:
         """Total ``(sum x, sum w)`` held at this node (conservation checks)."""
-        return (float(sum(self._x.values())), float(sum(self._w.values())))
+        return (float(self._x.sum()), float(self._w.sum()))
 
     def payload_size(self) -> int:
-        """Triplet count — proxy for message size in overhead accounting."""
-        return len(set(self._x) | set(self._w))
+        """Triplet count — proxy for message size in overhead accounting.
+
+        Cached like :meth:`known_ids`, but without materializing the id
+        tuple: the count alone is one vectorized scan.
+        """
+        if self._size is None:
+            if self._known is not None:
+                self._size = len(self._known)
+            else:
+                self._size = int(np.count_nonzero((self._x > 0) | (self._w > 0)))
+        return self._size
 
     def copy(self) -> "TripletVector":
         """Deep copy."""
         tv = TripletVector()
-        tv._x = dict(self._x)
-        tv._w = dict(self._w)
+        tv._x = self._x.copy()
+        tv._w = self._w.copy()
+        tv._known = self._known
+        tv._size = self._size
         return tv
 
     def __iter__(self) -> Iterator[Triplet]:

@@ -39,6 +39,9 @@ class TestValidation:
             {"max_gossip_steps": 0},
             {"engine_mode": "quantum"},
             {"probe_columns": 0},
+            {"check_every": 0},
+            {"densify_threshold": -0.1},
+            {"densify_threshold": 1.1},
         ],
     )
     def test_rejects_bad_values(self, kwargs):

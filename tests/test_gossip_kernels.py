@@ -1,0 +1,153 @@
+"""Fast-kernel contract: the allocation-free path vs the legacy chain.
+
+The fast kernel (CSR-layout segment-sum over preallocated buffers,
+check cadence, sparse warm-start) and the legacy kernel (per-step
+``sparse.csr_matrix`` construction and the ``0.5*(X + A@X)`` allocation
+chain) consume the same partner RNG stream, so on a seeded instance
+they must walk the same mixing-matrix sequence: identical step counts,
+matching results up to floating-point accumulation order.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError, ValidationError
+from repro.experiments.synthetic import synthetic_trust_matrix
+from repro.gossip.base import exact_aggregate, local_rows
+from repro.gossip.engine import SynchronousGossipEngine
+from repro.gossip.factory import make_engine
+from repro.trust.matrix import TrustMatrix
+from repro.utils.rng import RngStreams
+
+SEED = 0
+N = 128
+EPSILON = 1e-4
+
+
+def _instance(n):
+    S = synthetic_trust_matrix(n, rng=RngStreams(SEED).get("matrix"))
+    v = np.full(n, 1.0 / n)
+    return S, v
+
+
+def _cycle(n, S, v, **options):
+    eng = make_engine("sync", n=n, rng=RngStreams(SEED), epsilon=EPSILON, **options)
+    return eng.run_cycle(S, v)
+
+
+class TestFastVsLegacy:
+    def test_same_steps_and_scores(self):
+        """Same stream, same stop step; scores equal up to fp reordering."""
+        S, v = _instance(N)
+        fast = _cycle(N, S, v, mode="full", kernel="fast", check_every=1)
+        legacy = _cycle(N, S, v, mode="full", kernel="legacy", check_every=1)
+        assert fast.steps == legacy.steps
+        assert fast.converged and legacy.converged
+        np.testing.assert_allclose(fast.v_next, legacy.v_next, rtol=1e-12)
+        assert fast.gossip_error == pytest.approx(legacy.gossip_error, rel=1e-6)
+
+    def test_coarse_cadence_never_overshoots_legacy(self):
+        """At check_every > 1 the fast kernel's fine phase resolves the
+        stop step at per-step granularity, so it stops no later than the
+        legacy kernel's coarse-aligned stop — and both land on the same
+        answer within the epsilon target."""
+        S, v = _instance(N)
+        fast = _cycle(N, S, v, mode="full", kernel="fast", check_every=4)
+        legacy = _cycle(N, S, v, mode="full", kernel="legacy", check_every=4)
+        assert fast.converged and legacy.converged
+        assert fast.steps <= legacy.steps
+        np.testing.assert_allclose(fast.v_next, legacy.v_next, rtol=1e-4)
+
+    def test_probe_mode_agrees_with_full(self):
+        """Probe and full share the partner stream -> same step count."""
+        S, v = _instance(N)
+        full = _cycle(N, S, v, mode="full", kernel="fast")
+        probe = _cycle(N, S, v, mode="probe", probe_columns=64, kernel="fast")
+        assert probe.steps == full.steps
+        assert probe.converged and full.converged
+        # probe's v_next is the documented exact substitution
+        np.testing.assert_allclose(probe.v_next, full.exact, rtol=1e-12)
+
+
+class TestCheckEveryCadence:
+    def test_result_invariant_modulo_granularity(self):
+        """check_every in {1, 4} lands on the same answer.
+
+        The coarse cadence measures the residual over a longer window
+        (a stricter criterion), so step counts may differ by a few
+        steps of granularity — but both must converge, to scores that
+        agree far below the epsilon target.
+        """
+        S, v = _instance(256)
+        r1 = _cycle(256, S, v, mode="full", kernel="fast", check_every=1)
+        r4 = _cycle(256, S, v, mode="full", kernel="fast", check_every=4)
+        assert r1.converged and r4.converged
+        assert abs(r4.steps - r1.steps) <= 8
+        np.testing.assert_allclose(r4.v_next, r1.v_next, rtol=1e-4)
+        assert r1.gossip_error < EPSILON and r4.gossip_error < EPSILON
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            SynchronousGossipEngine(8, check_every=0)
+        with pytest.raises(ValidationError):
+            SynchronousGossipEngine(8, kernel="warp")
+        with pytest.raises(ValidationError):
+            SynchronousGossipEngine(8, densify_threshold=1.5)
+
+
+class TestSparseWarmStart:
+    def test_densify_threshold_does_not_change_result(self):
+        """Warm-start steps replay the same mixing matrices in CSR form."""
+        S, v = _instance(N)
+        warm = _cycle(N, S, v, mode="full", kernel="fast", densify_threshold=0.25)
+        cold = _cycle(N, S, v, mode="full", kernel="fast", densify_threshold=0.0)
+        assert warm.steps == cold.steps
+        np.testing.assert_allclose(warm.v_next, cold.v_next, rtol=1e-12)
+
+    def test_mixing_matrix_is_half_identity_plus_scatter(self):
+        n = 7
+        ids = np.arange(n)
+        targets = np.array([3, 2, 0, 0, 1, 0, 5])
+        M = SynchronousGossipEngine._mixing_matrix(targets, n, ids).toarray()
+        from scipy import sparse
+
+        A = sparse.csr_matrix((np.ones(n), (targets, ids)), shape=(n, n))
+        expected = 0.5 * (np.eye(n) + A.toarray())
+        np.testing.assert_array_equal(M, expected)
+
+
+class TestBudget:
+    def test_budget_exhaustion_raises(self):
+        S, v = _instance(N)
+        eng = make_engine(
+            "sync", n=N, rng=RngStreams(SEED), epsilon=EPSILON,
+            mode="full", kernel="fast", max_steps=3,
+        )
+        with pytest.raises(ConvergenceError):
+            eng.run_cycle(S, v)
+
+    def test_budget_best_effort(self):
+        S, v = _instance(N)
+        eng = make_engine(
+            "sync", n=N, rng=RngStreams(SEED), epsilon=EPSILON,
+            mode="full", kernel="fast", max_steps=3,
+        )
+        res = eng.run_cycle(S, v, raise_on_budget=False)
+        assert not res.converged
+        assert res.steps == 3
+
+
+class TestExactAggregate:
+    """The shared oracle helper: S^T v from any trust-matrix form."""
+
+    def test_all_input_forms_agree(self):
+        S, v = _instance(N)
+        assert isinstance(S, TrustMatrix)
+        csr = S.sparse()
+        dense = csr.toarray()
+        rows = local_rows(S, N)
+        expected = np.asarray(csr.T @ v).ravel()
+        for form in (S, csr, dense, rows):
+            np.testing.assert_allclose(
+                exact_aggregate(form, v, N), expected, rtol=1e-12
+            )

@@ -176,3 +176,73 @@ class TestFinalize:
         engine.run_cycle(rows, v)
         pairs = engine.finalize()
         assert 5 not in pairs
+
+
+class TestBatchedConvergence:
+    """Unit semantics of the one-pass population convergence test."""
+
+    def _mats(self, *rows):
+        return np.asarray(rows, dtype=np.float64)
+
+    def test_empty_population_is_converged(self):
+        from repro.gossip.message_engine import _batched_converged
+
+        assert _batched_converged((), np.empty((0, 2)), (), np.empty((0, 2)), 1e-4)
+
+    def test_within_epsilon_converges(self):
+        from repro.gossip.message_engine import _batched_converged
+
+        prev = self._mats([1.0, 2.0], [3.0, 4.0])
+        cur = prev * (1.0 + 5e-5)
+        assert _batched_converged((0, 1), cur, (0, 1), prev, 1e-4)
+        assert not _batched_converged((0, 1), prev * 1.01, (0, 1), prev, 1e-4)
+
+    def test_node_not_sampled_last_round_blocks(self):
+        from repro.gossip.message_engine import _batched_converged
+
+        prev = self._mats([1.0, 2.0])
+        cur = self._mats([1.0, 2.0], [1.0, 2.0])
+        assert not _batched_converged((0, 1), cur, (0,), prev, 1e-4)
+
+    def test_prev_rows_realigned_by_id(self):
+        from repro.gossip.message_engine import _batched_converged
+
+        prev = self._mats([9.0, 9.0], [1.0, 2.0])
+        cur = self._mats([1.0, 2.0])
+        # node 7's previous row sits at index 1 of prev
+        assert _batched_converged((7,), cur, (3, 7), prev, 1e-4)
+
+    def test_finite_pattern_change_blocks(self):
+        from repro.gossip.message_engine import _batched_converged
+
+        prev = self._mats([1.0, np.nan])
+        cur = self._mats([1.0, 1.0])  # newly heard-of peer: still spreading
+        assert not _batched_converged((0,), cur, (0,), prev, 1e-4)
+
+    def test_all_nan_row_blocks(self):
+        from repro.gossip.message_engine import _batched_converged
+
+        prev = self._mats([np.nan, np.nan])
+        cur = self._mats([np.nan, np.nan])
+        assert not _batched_converged((0,), cur, (0,), prev, 1e-4)
+
+    def test_inf_estimates_compare_stable(self):
+        """w == 0, x > 0 -> inf flows from estimates_array into the
+        convergence test and the disagreement metric without blowing up."""
+        from repro.gossip.message_engine import _batched_converged, _disagreement
+        from repro.gossip.vector import TripletVector
+
+        tv = TripletVector.initial(0, {1: 1.0}, {0: 0.4})
+        est = tv.estimates_array(3)
+        assert est[1] == np.inf
+        mat = est[None, :]
+        # identical inf pattern on both sides: converged (change is 0)
+        assert _batched_converged((0,), mat, (0,), mat.copy(), 1e-4)
+        # inf columns are excluded from the finite spread
+        assert _disagreement(np.vstack([mat, mat])) == pytest.approx(0.0)
+
+    def test_disagreement_all_nonfinite_is_inf(self):
+        from repro.gossip.message_engine import _disagreement
+
+        assert _disagreement(np.full((2, 2), np.nan)) == np.inf
+        assert _disagreement(np.empty((0, 3))) == np.inf

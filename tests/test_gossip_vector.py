@@ -2,6 +2,7 @@
 
 import math
 
+import numpy as np
 import pytest
 
 from repro.errors import ValidationError
@@ -90,3 +91,59 @@ class TestAccessors:
         tv = TripletVector.initial(0, {5: 0.5, 2: 0.5}, {0: 1.0})
         ids = [t.node for t in tv]
         assert ids == sorted(ids)
+
+    def test_estimates_matrix_matches_per_node_arrays(self):
+        vectors = [
+            TripletVector.initial(0, {1: 0.7, 2: 0.3}, {0: 0.5}),
+            TripletVector.initial(1, {0: 1.0}, {1: 0.25}),
+            TripletVector.initial(2, {}, {2: 1.0}),
+        ]
+        n = 4
+        mat = TripletVector.estimates_matrix(vectors, n)
+        assert mat.shape == (3, n)
+        for row, tv in zip(mat, vectors):
+            np.testing.assert_array_equal(row, tv.estimates_array(n))
+
+    def test_estimates_matrix_inf_where_x_without_w(self):
+        tv = TripletVector.initial(0, {1: 1.0}, {0: 0.4})
+        mat = TripletVector.estimates_matrix([tv], 3)
+        assert mat[0, 1] == math.inf  # x > 0, w == 0
+        assert math.isnan(mat[0, 2])  # no mass at all
+
+
+class TestCaching:
+    """known_ids / payload_size are cached and invalidated on merge."""
+
+    def test_known_ids_cached_until_merge(self):
+        tv = TripletVector.initial(0, {1: 0.5, 3: 0.5}, {0: 1.0})
+        first = tv.known_ids()
+        assert tv.known_ids() is first  # cache hit, no rebuild
+        tv.halve()  # scaling cannot change the known set
+        assert tv.known_ids() is first
+        other = TripletVector.initial(7, {2: 1.0}, {7: 0.5})
+        tv.merge(other)
+        rebuilt = tv.known_ids()
+        assert rebuilt is not first
+        assert set(rebuilt) == {0, 1, 2, 3, 7}
+
+    def test_payload_size_tracks_merges(self):
+        tv = TripletVector.initial(0, {1: 1.0}, {0: 1.0})
+        assert tv.payload_size() == 2
+        tv.merge(TripletVector.initial(4, {}, {4: 1.0}))
+        assert tv.payload_size() == 3
+        assert len(tv) == 3
+
+    def test_payload_size_without_materializing_ids(self):
+        tv = TripletVector.initial(0, {1: 1.0, 2: 1.0}, {0: 1.0})
+        assert tv.payload_size() == 3
+        assert tv._known is None  # count alone never builds the tuple
+
+    def test_copy_carries_caches(self):
+        tv = TripletVector.initial(0, {1: 1.0}, {0: 1.0})
+        ids = tv.known_ids()
+        cp = tv.copy()
+        assert cp.known_ids() == ids
+        cp.merge(TripletVector.initial(3, {}, {3: 1.0}))
+        # the copy's invalidation must not leak back into the original
+        assert tv.known_ids() is ids
+        assert cp.payload_size() == 3

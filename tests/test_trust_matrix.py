@@ -163,3 +163,28 @@ class TestSparseRowsCache:
         S.invalidate_cache()
         second = local_rows(S, 3)
         assert first != second
+
+
+class TestRowsToCsr:
+    def test_roundtrips_sparse_rows(self, small_S):
+        from repro.trust.matrix import rows_to_csr
+
+        n = small_S.n
+        back = rows_to_csr(small_S.sparse_rows(), n)
+        assert (back != small_S.sparse()).nnz == 0
+
+    def test_unsorted_row_keys_are_canonicalized(self):
+        from repro.trust.matrix import rows_to_csr
+
+        rows = [{2: 0.5, 0: 0.5}, {}, {1: 1.0}]
+        mat = rows_to_csr(rows, 3)
+        assert mat.has_sorted_indices
+        expected = np.array([[0.5, 0.0, 0.5], [0, 0, 0], [0, 1.0, 0]])
+        np.testing.assert_array_equal(mat.toarray(), expected)
+
+    def test_row_count_must_match(self):
+        from repro.errors import ValidationError
+        from repro.trust.matrix import rows_to_csr
+
+        with pytest.raises(ValidationError):
+            rows_to_csr([{0: 1.0}], 2)

@@ -1,0 +1,139 @@
+#!/usr/bin/env python
+"""Pinned engine benchmark sweep -> ``BENCH_engines.json`` at the repo root.
+
+Runs one aggregation cycle per (engine, n) on a fixed synthetic matrix
+and seed, records median wall time, step count, and peak memory, and
+writes the machine-readable trajectory file future PRs diff against for
+no-regression checks.  Two pinned modes:
+
+* default — n in {250, 500, 1000}, 3 repeats per cell;
+* ``--quick`` — same n sweep, 1 repeat (CI's bench-smoke job).
+
+The sync engine is measured twice — fast kernel at its defaults and the
+legacy reference kernel at ``check_every=1`` (the pre-kernel per-step
+cadence) — so the recorded trajectory carries its own baseline and the
+speedup is visible in the artifact itself.  The message engine runs at
+n <= 500 (it simulates every point-to-point message; larger sweeps
+belong to the pytest-benchmark suite).
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_runner.py [--quick] [--output PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.experiments.synthetic import synthetic_trust_matrix  # noqa: E402
+from repro.gossip.factory import make_engine  # noqa: E402
+from repro.utils.rng import RngStreams  # noqa: E402
+
+SEED = 0
+EPSILON = 1e-4
+N_SWEEP = (250, 500, 1000)
+#: message-engine cap: it simulates every message, so it sweeps small n
+MESSAGE_N_MAX = 500
+
+
+def _peak_rss_kib() -> float:
+    """Max resident set size so far, in KiB (0.0 where unsupported)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0.0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB, macOS reports bytes.
+    if platform.system() == "Darwin":  # pragma: no cover
+        peak /= 1024.0
+    return float(peak)
+
+
+def bench_cell(engine: str, n: int, repeats: int, **overrides) -> dict:
+    """Median-of-``repeats`` wall time for one engine at one n."""
+    S = synthetic_trust_matrix(n, rng=RngStreams(SEED).get("matrix"))
+    v = np.full(n, 1.0 / n)
+    times = []
+    steps = converged = None
+    for _ in range(repeats):
+        eng = make_engine(
+            engine, n=n, rng=RngStreams(SEED), epsilon=EPSILON, **overrides
+        )
+        t0 = time.perf_counter()
+        result = eng.run_cycle(S, v)
+        times.append(time.perf_counter() - t0)
+        steps, converged = int(result.steps), bool(result.converged)
+    return {
+        "engine": engine,
+        "n": n,
+        "wall_time_s": round(sorted(times)[len(times) // 2], 6),
+        "wall_times_s": [round(t, 6) for t in times],
+        "steps": steps,
+        "converged": converged,
+        "peak_rss_kib": _peak_rss_kib(),
+        "options": overrides,
+    }
+
+
+def run(quick: bool) -> dict:
+    repeats = 1 if quick else 3
+    entries = []
+    for n in N_SWEEP:
+        cells = [
+            ("sync", {"mode": "full", "kernel": "fast"}),
+            ("sync", {"mode": "full", "kernel": "legacy", "check_every": 1}),
+            ("sync", {"mode": "probe", "kernel": "fast"}),
+        ]
+        if n <= MESSAGE_N_MAX:
+            cells.append(("message", {"max_rounds": 400}))
+        for engine, overrides in cells:
+            cell = bench_cell(engine, n, repeats, **overrides)
+            label = "+".join(
+                [engine] + [f"{k}={v}" for k, v in sorted(overrides.items())]
+            )
+            print(
+                f"{label:55s} n={n:5d}  {cell['wall_time_s']:8.3f}s  "
+                f"steps={cell['steps']}"
+            )
+            entries.append(cell)
+    return {
+        "schema": 1,
+        "quick": quick,
+        "seed": SEED,
+        "epsilon": EPSILON,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "entries": entries,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="1 repeat per cell (CI smoke mode)"
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=REPO_ROOT / "BENCH_engines.json",
+        help="output JSON path (default: BENCH_engines.json at the repo root)",
+    )
+    args = parser.parse_args(argv)
+    payload = run(quick=args.quick)
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
