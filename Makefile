@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint ci bench bench-smoke examples experiments docs clean
+.PHONY: install test lint ci bench bench-smoke sweep examples experiments docs clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -30,6 +30,12 @@ bench:
 # that one with `PYTHONPATH=src python tools/bench_runner.py` — stays intact.
 bench-smoke:
 	PYTHONPATH=src $(PYTHON) tools/bench_runner.py --quick --output BENCH_engines.quick.json
+
+# Demo of the parallel sweep runner: a quick experiment fanned over 2
+# worker processes (results are identical to --workers 1, only faster
+# on multi-core boxes; see src/repro/experiments/runner.py).
+sweep:
+	PYTHONPATH=src $(PYTHON) -m repro.cli run fig3 --quick --workers 2
 
 examples:
 	@for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f || exit 1; done

@@ -18,14 +18,22 @@ the fast paths:
 * message engine at n = 500 — the array-backed ``TripletVector`` path
   must finish a cycle within ``MESSAGE_BUDGET_S`` (a fifth of the
   ~10.8 s the dict-backed implementation took on the reference box, so
-  holding the budget demonstrates the >= 5x improvement).
+  holding the budget demonstrates the >= 5x improvement);
+* persistent-workspace reuse at n = 1000 — keeping the sync engine's
+  cycle buffers alive across ``run_cycle`` calls must be at least
+  break-even against per-cycle reallocation;
+* the parallel sweep runner — 2 workers must beat serial wall time on
+  a multi-core box (skipped on single-core machines).
 """
 
+import os
 import time
 
 import numpy as np
 import pytest
 
+from repro.experiments.fig3_gossip_steps import _fig3_point
+from repro.experiments.runner import SweepPoint, run_sweep
 from repro.experiments.synthetic import synthetic_trust_matrix
 from repro.gossip.factory import engine_names, make_engine
 from repro.metrics.telemetry import CycleTelemetry
@@ -128,6 +136,70 @@ def test_sync_fast_kernel_speedup(bench_S_full):
     assert speedup >= SYNC_SPEEDUP_FLOOR, (
         f"fast kernel only {speedup:.2f}x over legacy "
         f"({t_fast:.3f}s vs {t_legacy:.3f}s)"
+    )
+
+
+def test_workspace_reuse_not_slower(bench_S_full):
+    """The persistent workspace is at least break-even vs per-cycle alloc.
+
+    Two sync engines run ``CYCLES`` consecutive full-mode cycles on the
+    same matrix, one with the persistent :class:`Workspace` (the
+    default) and one rebuilding its buffers every cycle
+    (``reuse_workspace=False`` — the pre-workspace baseline).  Reuse
+    must be >= 1.0x the reallocation path; the floor carries a 5%
+    measurement-noise band.
+    """
+    CYCLES = 3
+
+    def total_time(reuse: bool) -> float:
+        eng = make_engine(
+            "sync", n=FULL_N, rng=RngStreams(SEED),
+            epsilon=1e-4, mode="full", reuse_workspace=reuse,
+        )
+        v = np.full(FULL_N, 1.0 / FULL_N)
+        t0 = time.perf_counter()
+        for _ in range(CYCLES):
+            res = eng.run_cycle(bench_S_full, v)
+            v = res.v_next / res.v_next.sum()
+        return time.perf_counter() - t0
+
+    t_reuse = min(total_time(True) for _ in range(3))
+    t_alloc = min(total_time(False) for _ in range(3))
+    speedup = t_alloc / t_reuse
+    assert speedup >= 0.95, (
+        f"workspace reuse is slower than per-cycle reallocation: "
+        f"{speedup:.3f}x ({t_reuse:.3f}s vs {t_alloc:.3f}s)"
+    )
+
+
+def test_sweep_parallel_beats_serial():
+    """``run_sweep`` at 2 workers beats serial on a multi-core box.
+
+    Skipped on single-core machines, where process fan-out can only add
+    overhead and the contract explicitly does not apply.
+    """
+    if (os.cpu_count() or 1) < 2:
+        pytest.skip("needs >= 2 CPUs for parallel speedup")
+    points = [
+        SweepPoint(
+            fn=_fig3_point,
+            kwargs={
+                "n": 300,
+                "epsilon": 1e-3,
+                "cycles_per_point": 1,
+                "engine": "sync",
+            },
+            seed=seed,
+        )
+        for seed in range(8)
+    ]
+    serial = run_sweep(points, workers=1)
+    parallel = run_sweep(points, workers=2)
+    assert [v[0] for v in serial.values()] == [v[0] for v in parallel.values()]
+    # 2 workers must beat serial; allow generous scheduling overhead.
+    assert parallel.wall_time < serial.wall_time * 0.9, (
+        f"parallel sweep not faster: {parallel.wall_time:.3f}s (2 workers) "
+        f"vs {serial.wall_time:.3f}s (serial)"
     )
 
 

@@ -11,6 +11,9 @@ Usage::
 (ints, floats, and comma-separated tuples are auto-parsed).
 ``--engine NAME`` is shorthand for ``--set engine=NAME`` and selects
 any engine registered with :func:`repro.gossip.factory.register_engine`.
+``--workers N`` is shorthand for ``--set workers=N`` and fans the
+experiment's sweep points over ``N`` processes (see
+:mod:`repro.experiments.runner`); results are identical to serial runs.
 """
 
 from __future__ import annotations
@@ -76,6 +79,14 @@ def build_parser() -> argparse.ArgumentParser:
         "(registered names; shorthand for --set engine=NAME)",
     )
     run_p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for sweep-backed experiments "
+        "(shorthand for --set workers=N; 1 = serial)",
+    )
+    run_p.add_argument(
         "--set",
         dest="overrides",
         action="append",
@@ -102,6 +113,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         overrides: Dict[str, object] = dict(args.overrides)
         if args.engine is not None:
             overrides["engine"] = args.engine
+        if args.workers is not None:
+            overrides["workers"] = args.workers
         result = run_experiment(args.experiment, quick=args.quick, **overrides)
         print(result.render(chart=args.chart))
         return 0

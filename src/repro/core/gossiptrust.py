@@ -215,10 +215,21 @@ class GossipTrust:
             if cfg.alpha > 0:
                 v_new = self._mixing.mix(v_new, cfg.alpha)
             # Gossip noise can leave the vector sum slightly off 1;
-            # renormalize so cycles compose as probability vectors.
+            # renormalize so cycles compose as probability vectors.  A
+            # non-positive sum means the cycle destroyed all reputation
+            # mass (every later cycle would iterate on a zero vector),
+            # so fail loudly naming the cycle instead of silently
+            # skipping renormalization.
             total = v_new.sum()
-            if total > 0:
-                v_new = v_new / total
+            if not total > 0:
+                raise ConvergenceError(
+                    f"cycle {cycles} produced a non-positive reputation mass "
+                    f"(sum={total!r}); gossip lost all mass — check fault "
+                    f"rates and engine configuration",
+                    steps=cycles,
+                    residual=float(total),
+                )
+            v_new = v_new / total
             cycle_results.append(res)
             record = recorder.record(cycles, res, wall_time=wall)
             if on_cycle is not None:

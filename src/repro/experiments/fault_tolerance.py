@@ -16,15 +16,17 @@ magnitude below the score scale even at heavy loss.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.errors import ExperimentError
 from repro.experiments.base import ExperimentResult, mean_std, seed_range
+from repro.experiments.runner import SweepPoint, run_sweep
 from repro.experiments.synthetic import synthetic_trust_matrix
 from repro.gossip.factory import make_engine
 from repro.metrics.reporting import Series, TextTable
-from repro.metrics.telemetry import CycleTelemetry
+from repro.metrics.telemetry import CycleRecord, CycleTelemetry
 from repro.network.overlay import Overlay
 from repro.network.topology import gnutella_like
 from repro.network.transport import Transport
@@ -89,6 +91,33 @@ def _leave_if_alive(overlay: Overlay, node: int) -> None:
         overlay.leave(node)
 
 
+#: fault axis name -> how a sweep level maps onto ``_one_cycle`` kwargs
+_FAULT_AXES = {
+    "loss": lambda level: {"loss_rate": float(level)},
+    "link": lambda level: {"failed_link_fraction": float(level)},
+    "churn": lambda level: {"departures": int(level)},
+}
+
+
+def _fault_point(
+    *, seed: int, n: int, fault: str, level: float, engine: str
+) -> Tuple[Tuple[float, float, float], List[CycleRecord]]:
+    """One fault-tolerance sweep point: a single faulted cycle.
+
+    Returns ``((gossip_error, rounds, mass_lost), records)``.
+    """
+    if fault not in _FAULT_AXES:
+        raise ExperimentError(f"unknown fault axis {fault!r}")
+    telemetry = CycleTelemetry()
+    res = _one_cycle(
+        n, seed, engine=engine, telemetry=telemetry, **_FAULT_AXES[fault](level)
+    )
+    return (
+        (res.gossip_error, float(res.steps), res.mass_lost_fraction),
+        telemetry.records,
+    )
+
+
 def run_fault_tolerance(
     *,
     n: int = 128,
@@ -97,11 +126,13 @@ def run_fault_tolerance(
     departure_counts: Sequence[int] = (0, 8, 16),
     repeats: int = 3,
     engine: str = "message",
+    workers: int = 1,
 ) -> ExperimentResult:
     """Sweep the three fault axes on a message-level engine.
 
     ``engine`` may be ``"message"`` (synchronized rounds) or ``"async"``
     (per-node Poisson clocks) — both run real messages on the DES.
+    ``workers`` fans the (fault, level, seed) points over processes.
     """
     table = TextTable(
         ["fault", "level", "gossip_error", "rounds", "mass_lost"],
@@ -114,43 +145,38 @@ def run_fault_tolerance(
     raw = {}
     telemetry = CycleTelemetry()
 
-    for rate in loss_rates:
-        errs, rounds, lost = [], [], []
-        for seed in seed_range(repeats):
-            res = _one_cycle(n, seed, loss_rate=rate, engine=engine, telemetry=telemetry)
-            errs.append(res.gossip_error)
-            rounds.append(float(res.steps))
-            lost.append(res.mass_lost_fraction)
-        m_err, _ = mean_std(errs)
-        table.add_row(["loss", rate, m_err, mean_std(rounds)[0], mean_std(lost)[0]])
-        loss_series.add(rate, m_err)
-        raw[f"loss/{rate:g}"] = m_err
-
-    for frac in link_failure_fractions:
-        errs, rounds, lost = [], [], []
-        for seed in seed_range(repeats):
-            res = _one_cycle(
-                n, seed, failed_link_fraction=frac, engine=engine, telemetry=telemetry
-            )
-            errs.append(res.gossip_error)
-            rounds.append(float(res.steps))
-            lost.append(res.mass_lost_fraction)
-        m_err, _ = mean_std(errs)
-        table.add_row(["link", frac, m_err, mean_std(rounds)[0], mean_std(lost)[0]])
-        link_series.add(frac, m_err)
-        raw[f"link/{frac:g}"] = m_err
-
-    for dep in departure_counts:
-        errs, rounds, lost = [], [], []
-        for seed in seed_range(repeats):
-            res = _one_cycle(n, seed, departures=dep, engine=engine, telemetry=telemetry)
-            errs.append(res.gossip_error)
-            rounds.append(float(res.steps))
-            lost.append(res.mass_lost_fraction)
-        m_err, _ = mean_std(errs)
-        table.add_row(["churn", dep, m_err, mean_std(rounds)[0], mean_std(lost)[0]])
-        churn_series.add(dep, m_err)
-        raw[f"churn/{dep}"] = m_err
+    axes = [
+        ("loss", loss_series, list(loss_rates)),
+        ("link", link_series, list(link_failure_fractions)),
+        ("churn", churn_series, list(departure_counts)),
+    ]
+    points = [
+        SweepPoint(
+            fn=_fault_point,
+            kwargs={"n": n, "fault": fault, "level": level, "engine": engine},
+            seed=seed,
+            label=f"{fault}/{level:g}/s{seed}",
+        )
+        for fault, _, levels in axes
+        for level in levels
+        for seed in seed_range(repeats)
+    ]
+    report = run_sweep(points, workers=workers)
+    values = iter(report.values())
+    for fault, series, levels in axes:
+        for level in levels:
+            errs, rounds, lost = [], [], []
+            for _ in seed_range(repeats):
+                (err, steps, mass), records = next(values)
+                errs.append(err)
+                rounds.append(steps)
+                lost.append(mass)
+                telemetry.records.extend(records)
+            m_err, _ = mean_std(errs)
+            table.add_row([fault, level, m_err, mean_std(rounds)[0], mean_std(lost)[0]])
+            series.add(level, m_err)
+            key = f"{fault}/{level}" if fault == "churn" else f"{fault}/{level:g}"
+            raw[key] = m_err
 
     return ExperimentResult(
         experiment_id="fault",
@@ -163,5 +189,6 @@ def run_fault_tolerance(
             "link failures therefore thin random pairs rather than cut the flood tree.",
             f"engine={engine!r} via make_engine.",
             telemetry.summary_line(),
+            report.summary_line(),
         ],
     )

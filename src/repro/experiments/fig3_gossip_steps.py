@@ -18,15 +18,16 @@ draws.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
 from repro.experiments.base import ExperimentResult, mean_std, seed_range
+from repro.experiments.runner import SweepPoint, run_sweep
 from repro.experiments.synthetic import synthetic_trust_matrix
 from repro.gossip.factory import make_engine
 from repro.metrics.reporting import Series, TextTable
-from repro.metrics.telemetry import CycleTelemetry
+from repro.metrics.telemetry import CycleRecord, CycleTelemetry
 from repro.utils.rng import RngStreams
 
 __all__ = ["run_fig3"]
@@ -37,6 +38,41 @@ DEFAULT_EPSILONS = (1e-1, 1e-2, 1e-3, 1e-4, 1e-5)
 DEFAULT_SIZES = (1000, 2000, 4000)
 
 
+def _fig3_point(
+    *,
+    seed: int,
+    n: int,
+    epsilon: float,
+    cycles_per_point: int = 3,
+    engine: str = "sync",
+) -> Tuple[float, List[CycleRecord]]:
+    """One Fig. 3 sweep point: mean steps over ``cycles_per_point`` cycles.
+
+    Module-level and seed-pure so :func:`~repro.experiments.runner.run_sweep`
+    can ship it to worker processes; returns the measurement plus the
+    point's per-cycle telemetry records.
+    """
+    streams = RngStreams(seed)
+    S = synthetic_trust_matrix(n, rng=streams.get("matrix"))
+    eng = make_engine(
+        engine,
+        n=n,
+        rng=streams,
+        epsilon=epsilon,
+        mode="probe",
+        probe_columns=64,
+        max_steps=20_000,
+    )
+    v = np.full(n, 1.0 / n)
+    telemetry = CycleTelemetry()
+    steps = []
+    for cycle in range(cycles_per_point):
+        res = telemetry.timed(cycle + 1, eng, S, v)
+        steps.append(float(res.steps))
+        v = res.v_next / res.v_next.sum()
+    return float(np.mean(steps)), telemetry.records
+
+
 def run_fig3(
     *,
     sizes: Sequence[int] = DEFAULT_SIZES,
@@ -44,6 +80,7 @@ def run_fig3(
     repeats: int = 3,
     cycles_per_point: int = 3,
     engine: str = "sync",
+    workers: int = 1,
 ) -> ExperimentResult:
     """Measure mean gossip steps per cycle for each (n, epsilon).
 
@@ -51,6 +88,9 @@ def run_fig3(
     ``cycles_per_point`` gossiped aggregation cycles (probe mode for
     the vectorized engine), and average the step counts; repeat over
     ``repeats`` seeds.  ``engine`` selects any registered cycle engine.
+    ``workers`` fans the sweep points over that many processes (results
+    are identical to ``workers=1``; each point is a pure function of
+    its seed).
     """
     table = TextTable(
         ["n", "epsilon", "steps_mean", "steps_std"],
@@ -60,28 +100,31 @@ def run_fig3(
     series = [Series(label=f"n={n}") for n in sizes]
     raw = {}
     telemetry = CycleTelemetry()
+    points = [
+        SweepPoint(
+            fn=_fig3_point,
+            kwargs={
+                "n": n,
+                "epsilon": eps,
+                "cycles_per_point": cycles_per_point,
+                "engine": engine,
+            },
+            seed=seed,
+            label=f"n={n}/eps={eps:g}/s{seed}",
+        )
+        for n in sizes
+        for eps in epsilons
+        for seed in seed_range(repeats)
+    ]
+    report = run_sweep(points, workers=workers)
+    values = iter(report.values())
     for si, n in enumerate(sizes):
         for eps in epsilons:
             per_seed = []
-            for seed in seed_range(repeats):
-                streams = RngStreams(seed)
-                S = synthetic_trust_matrix(n, rng=streams.get("matrix"))
-                eng = make_engine(
-                    engine,
-                    n=n,
-                    rng=streams,
-                    epsilon=eps,
-                    mode="probe",
-                    probe_columns=64,
-                    max_steps=20_000,
-                )
-                v = np.full(n, 1.0 / n)
-                steps = []
-                for cycle in range(cycles_per_point):
-                    res = telemetry.timed(cycle + 1, eng, S, v)
-                    steps.append(float(res.steps))
-                    v = res.v_next / res.v_next.sum()
-                per_seed.append(float(np.mean(steps)))
+            for _ in seed_range(repeats):
+                mean_steps, records = next(values)
+                per_seed.append(mean_steps)
+                telemetry.records.extend(records)
             mean, std = mean_std(per_seed)
             table.add_row([n, eps, mean, std])
             series[si].add(eps, mean)
@@ -99,6 +142,7 @@ def run_fig3(
             "matrix; see gossip/engine.py) and are ignored by engines "
             "that do not take them.",
             telemetry.summary_line(),
+            report.summary_line(),
         ],
         chart_hints={"log_x": True, "x_label": "epsilon", "y_label": "steps"},
     )

@@ -26,6 +26,7 @@ from repro.core.config import GossipTrustConfig
 from repro.core.gossiptrust import GossipTrust
 from repro.core.aggregation import exact_global_reputation
 from repro.experiments.base import ExperimentResult, mean_std, seed_range
+from repro.experiments.runner import SweepPoint, run_sweep
 from repro.metrics.errors import rms_relative_error
 from repro.metrics.reporting import Series, TextTable
 from repro.peers.threat_models import (
@@ -104,6 +105,32 @@ def _rms_for(scenario, alpha: float, seed: int, *, gossip: bool) -> float:
     return rms_relative_error(v[mask], u[mask], cap=RMS_CAP)
 
 
+def _fig4a_point(
+    *, seed: int, n: int, gamma: float, alpha: float, gossip: bool = True
+) -> float:
+    """One Fig. 4(a) sweep point: RMS error for one attacked scenario."""
+    streams = RngStreams(seed)
+    scenario = build_independent_scenario(n, gamma, rng=streams.get("scenario"))
+    return _rms_for(scenario, alpha, seed, gossip=gossip)
+
+
+def _fig4b_point(
+    *,
+    seed: int,
+    n: int,
+    fraction: float,
+    group_size: int,
+    alpha: float,
+    gossip: bool = True,
+) -> float:
+    """One Fig. 4(b) sweep point: RMS error for one collusive scenario."""
+    streams = RngStreams(seed)
+    scenario = build_collusive_scenario(
+        n, fraction, group_size, rng=streams.get("scenario")
+    )
+    return _rms_for(scenario, alpha, seed, gossip=gossip)
+
+
 def run_fig4a(
     *,
     n: int = 1000,
@@ -111,6 +138,7 @@ def run_fig4a(
     alphas: Sequence[float] = DEFAULT_ALPHAS,
     repeats: int = 5,
     gossip: bool = True,
+    workers: int = 1,
 ) -> ExperimentResult:
     """Fig. 4(a): RMS error vs fraction of independent malicious peers."""
     table = TextTable(
@@ -119,15 +147,22 @@ def run_fig4a(
         float_fmt=".3g",
     )
     series = [Series(label=f"alpha={a:g}") for a in alphas]
+    points = [
+        SweepPoint(
+            fn=_fig4a_point,
+            kwargs={"n": n, "gamma": gamma, "alpha": alpha, "gossip": gossip},
+            seed=seed,
+            label=f"alpha={alpha:g}/gamma={gamma:g}/s{seed}",
+        )
+        for alpha in alphas
+        for gamma in gammas
+        for seed in seed_range(repeats)
+    ]
+    report = run_sweep(points, workers=workers)
+    values = iter(report.values())
     for ai, alpha in enumerate(alphas):
         for gamma in gammas:
-            vals = []
-            for seed in seed_range(repeats):
-                streams = RngStreams(seed)
-                scenario = build_independent_scenario(
-                    n, gamma, rng=streams.get("scenario")
-                )
-                vals.append(_rms_for(scenario, alpha, seed, gossip=gossip))
+            vals = [next(values) for _ in seed_range(repeats)]
             mean, std = mean_std(vals)
             table.add_row([alpha, gamma, mean, std])
             series[ai].add(gamma, mean)
@@ -141,6 +176,7 @@ def run_fig4a(
             f"alpha={a:g}": dict(zip(series[ai].x, series[ai].y))
             for ai, a in enumerate(alphas)
         },
+        notes=[report.summary_line()],
     )
 
 
@@ -152,6 +188,7 @@ def run_fig4b(
     alphas: Sequence[float] = (0.0, 0.15),
     repeats: int = 5,
     gossip: bool = True,
+    workers: int = 1,
 ) -> ExperimentResult:
     """Fig. 4(b): RMS error vs collusion group size."""
     table = TextTable(
@@ -159,18 +196,32 @@ def run_fig4b(
         title=f"Fig. 4(b): RMS error, collusive peers (n={n})",
         float_fmt=".3g",
     )
+    points = [
+        SweepPoint(
+            fn=_fig4b_point,
+            kwargs={
+                "n": n,
+                "fraction": frac,
+                "group_size": gs,
+                "alpha": alpha,
+                "gossip": gossip,
+            },
+            seed=seed,
+            label=f"frac={frac:g}/alpha={alpha:g}/gs={gs}/s{seed}",
+        )
+        for frac in fractions
+        for alpha in alphas
+        for gs in group_sizes
+        for seed in seed_range(repeats)
+    ]
+    report = run_sweep(points, workers=workers)
+    values = iter(report.values())
     series = []
     for frac in fractions:
         for alpha in alphas:
             s = Series(label=f"{frac:.0%} colluders, alpha={alpha:g}")
             for gs in group_sizes:
-                vals = []
-                for seed in seed_range(repeats):
-                    streams = RngStreams(seed)
-                    scenario = build_collusive_scenario(
-                        n, frac, gs, rng=streams.get("scenario")
-                    )
-                    vals.append(_rms_for(scenario, alpha, seed, gossip=gossip))
+                vals = [next(values) for _ in seed_range(repeats)]
                 mean, std = mean_std(vals)
                 table.add_row([frac, alpha, gs, mean, std])
                 s.add(gs, mean)
@@ -182,4 +233,5 @@ def run_fig4b(
         tables=[table],
         series=series,
         data={s.label: dict(zip(s.x, s.y)) for s in series},
+        notes=[report.summary_line()],
     )

@@ -14,18 +14,49 @@ and actually executed — the structured rounds are measured, not derived.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from repro.errors import ExperimentError
 from repro.experiments.base import ExperimentResult, mean_std, seed_range
+from repro.experiments.runner import SweepPoint, run_sweep
 from repro.experiments.synthetic import synthetic_trust_matrix
 from repro.gossip.factory import make_engine
 from repro.metrics.reporting import Series, TextTable
-from repro.metrics.telemetry import CycleTelemetry
+from repro.metrics.telemetry import CycleRecord, CycleTelemetry
 from repro.utils.rng import RngStreams
 
 __all__ = ["run_structured"]
+
+
+def _structured_point(
+    *, seed: int, n: int, epsilon: float, engine: str
+) -> Tuple[Tuple[float, float, float], List[CycleRecord]]:
+    """One comparison point: unstructured cycle vs structured all-reduce.
+
+    Returns ``((gossip_steps, gossip_error, structured_rounds), records)``.
+    """
+    streams = RngStreams(seed)
+    S = synthetic_trust_matrix(n, rng=streams.get("matrix"))
+    v = np.full(n, 1.0 / n)
+    telemetry = CycleTelemetry()
+    baseline = make_engine(
+        engine, n=n, rng=streams,
+        epsilon=epsilon, mode="probe", probe_columns=64,
+    )
+    res = telemetry.timed(1, baseline, S, v)
+    structured = make_engine("structured", n=n, rng=streams)
+    s_res = telemetry.timed(1, structured, S, v)
+    if s_res.gossip_error != 0.0:  # the all-reduce must be exact
+        raise ExperimentError(
+            f"structured all-reduce is not exact at n={n}, seed={seed}: "
+            f"gossip_error={s_res.gossip_error!r}"
+        )
+    return (
+        (float(res.steps), res.gossip_error, float(s_res.steps)),
+        telemetry.records,
+    )
 
 
 def run_structured(
@@ -34,11 +65,13 @@ def run_structured(
     epsilon: float = 1e-4,
     repeats: int = 3,
     engine: str = "sync",
+    workers: int = 1,
 ) -> ExperimentResult:
     """Sweep n; measure per-cycle rounds for both aggregation styles.
 
     ``engine`` selects the unstructured baseline (any registered
     engine); the structured all-reduce is always the comparison target.
+    ``workers`` fans the (n, seed) points over processes.
     """
     table = TextTable(
         ["n", "gossip_steps", "structured_rounds", "speedup", "gossip_error"],
@@ -49,23 +82,26 @@ def run_structured(
     struct_series = Series(label="structured all-reduce")
     raw = {}
     telemetry = CycleTelemetry()
+    points = [
+        SweepPoint(
+            fn=_structured_point,
+            kwargs={"n": n, "epsilon": epsilon, "engine": engine},
+            seed=seed,
+            label=f"n={n}/s{seed}",
+        )
+        for n in sizes
+        for seed in seed_range(repeats)
+    ]
+    report = run_sweep(points, workers=workers)
+    values = iter(report.values())
     for n in sizes:
         steps_l, err_l, rounds_l = [], [], []
-        for seed in seed_range(repeats):
-            streams = RngStreams(seed)
-            S = synthetic_trust_matrix(n, rng=streams.get("matrix"))
-            v = np.full(n, 1.0 / n)
-            baseline = make_engine(
-                engine, n=n, rng=streams,
-                epsilon=epsilon, mode="probe", probe_columns=64,
-            )
-            res = telemetry.timed(1, baseline, S, v)
-            steps_l.append(float(res.steps))
-            err_l.append(res.gossip_error)
-            structured = make_engine("structured", n=n, rng=streams)
-            s_res = telemetry.timed(1, structured, S, v)
-            rounds_l.append(float(s_res.steps))
-            assert s_res.gossip_error == 0.0  # the all-reduce is exact
+        for _ in seed_range(repeats):
+            (steps, err, rounds_v), records = next(values)
+            steps_l.append(steps)
+            err_l.append(err)
+            rounds_l.append(rounds_v)
+            telemetry.records.extend(records)
         rounds = mean_std(rounds_l)[0]
         g_steps = mean_std(steps_l)[0]
         table.add_row([n, g_steps, rounds, g_steps / rounds, mean_std(err_l)[0]])
@@ -85,5 +121,6 @@ def run_structured(
             "assumption unstructured networks cannot make (§1).",
             f"baseline engine={engine!r} via make_engine.",
             telemetry.summary_line(),
+            report.summary_line(),
         ],
     )

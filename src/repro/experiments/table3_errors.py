@@ -16,6 +16,7 @@ from typing import Sequence, Tuple
 from repro.core.config import GossipTrustConfig
 from repro.core.gossiptrust import GossipTrust
 from repro.experiments.base import ExperimentResult, mean_std, seed_range
+from repro.experiments.runner import SweepPoint, run_sweep
 from repro.experiments.synthetic import synthetic_trust_matrix
 from repro.metrics.reporting import TextTable
 from repro.utils.rng import RngStreams
@@ -30,6 +31,45 @@ PAPER_SETTINGS: Tuple[Tuple[float, float], ...] = (
 )
 
 
+def _table3_point(
+    *,
+    seed: int,
+    n: int,
+    epsilon: float,
+    delta: float,
+    alpha: float,
+    engine_mode: str,
+    engine: str,
+) -> Tuple[float, float, float, float]:
+    """One Table 3 sweep point: a full GossipTrust run for one seed.
+
+    Returns ``(cycles, mean_steps_per_cycle, gossip_error, agg_error)``.
+    """
+    streams = RngStreams(seed)
+    S = synthetic_trust_matrix(n, rng=streams.get("matrix"))
+    cfg = GossipTrustConfig(
+        n=n,
+        alpha=alpha,
+        epsilon=epsilon,
+        delta=delta,
+        engine_mode=engine_mode,
+        engine=engine,
+        seed=seed,
+    )
+    result = GossipTrust(S, cfg, rng=streams.get("system")).run(
+        raise_on_budget=False, compute_reference=True
+    )
+    mean_steps = float(sum(result.steps_per_cycle)) / max(
+        1, len(result.steps_per_cycle)
+    )
+    return (
+        float(result.cycles),
+        mean_steps,
+        result.mean_gossip_error,
+        result.aggregation_error,
+    )
+
+
 def run_table3(
     *,
     n: int = 1000,
@@ -38,6 +78,7 @@ def run_table3(
     alpha: float = 0.15,
     engine_mode: str = "full",
     engine: str = "sync",
+    workers: int = 1,
 ) -> ExperimentResult:
     """Regenerate Table 3 on synthetic power-law trust matrices.
 
@@ -45,7 +86,9 @@ def run_table3(
     every component); at n = 1000 this is the paper's configuration.
     ``engine`` selects any registered cycle engine by name; the
     aggregation-error column needs the exact oracle, so the reference
-    computation stays on regardless of the config default.
+    computation stays on regardless of the config default.  ``workers``
+    fans the (setting, seed) points over processes via
+    :func:`~repro.experiments.runner.run_sweep`.
     """
     table = TextTable(
         [
@@ -60,29 +103,33 @@ def run_table3(
         float_fmt=".3g",
     )
     raw = {}
+    points = [
+        SweepPoint(
+            fn=_table3_point,
+            kwargs={
+                "n": n,
+                "epsilon": eps,
+                "delta": delta,
+                "alpha": alpha,
+                "engine_mode": engine_mode,
+                "engine": engine,
+            },
+            seed=seed,
+            label=f"eps={eps:g}/delta={delta:g}/s{seed}",
+        )
+        for eps, delta in settings
+        for seed in seed_range(repeats)
+    ]
+    report = run_sweep(points, workers=workers)
+    values = iter(report.values())
     for eps, delta in settings:
         cycles_l, steps_l, gerr_l, aerr_l = [], [], [], []
-        for seed in seed_range(repeats):
-            streams = RngStreams(seed)
-            S = synthetic_trust_matrix(n, rng=streams.get("matrix"))
-            cfg = GossipTrustConfig(
-                n=n,
-                alpha=alpha,
-                epsilon=eps,
-                delta=delta,
-                engine_mode=engine_mode,
-                engine=engine,
-                seed=seed,
-            )
-            result = GossipTrust(S, cfg, rng=streams.get("system")).run(
-                raise_on_budget=False, compute_reference=True
-            )
-            cycles_l.append(float(result.cycles))
-            steps_l.append(
-                float(sum(result.steps_per_cycle)) / max(1, len(result.steps_per_cycle))
-            )
-            gerr_l.append(result.mean_gossip_error)
-            aerr_l.append(result.aggregation_error)
+        for _ in seed_range(repeats):
+            cycles, mean_steps, gerr, aerr = next(values)
+            cycles_l.append(cycles)
+            steps_l.append(mean_steps)
+            gerr_l.append(gerr)
+            aerr_l.append(aerr)
         row = (
             mean_std(cycles_l)[0],
             mean_std(steps_l)[0],
@@ -102,4 +149,5 @@ def run_table3(
         "threshold settings for a 1000-node P2P network",
         tables=[table],
         data={"rows": {f"{e:g}/{d:g}": v for (e, d), v in raw.items()}},
+        notes=[report.summary_line()],
     )

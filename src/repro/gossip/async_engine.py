@@ -30,7 +30,7 @@ from repro.gossip.message_engine import (
     _batched_converged,
     _disagreement,
 )
-from repro.gossip.vector import TripletVector
+from repro.gossip.vector import EstimatesWorkspace, TripletVector
 from repro.network.overlay import Overlay
 from repro.network.transport import Message, Transport
 from repro.sim.engine import Simulator
@@ -87,6 +87,10 @@ class AsyncMessageGossipEngine(CycleEngine):
         self.max_time = float(max_time)
         self._rng = as_generator(rng)
         self._states: Dict[int, TripletVector] = {}
+        #: per-node TripletVectors recycled across cycles (see message_engine)
+        self._pool: Dict[int, TripletVector] = {}
+        #: reusable buffers for the monitor's estimate matrices
+        self._est_ws = EstimatesWorkspace()
         self._running = False
         self.sends = 0
         self.cycle_steps = []
@@ -142,7 +146,10 @@ class AsyncMessageGossipEngine(CycleEngine):
         self._states = {}
         initial_mass = 0.0
         for node in self.overlay.alive_nodes().tolist():
-            tv = TripletVector.initial(node, rows[node], prior_map, n=n)
+            tv = self._pool.get(node)
+            if tv is None:
+                tv = self._pool[node] = TripletVector(n)
+            tv.reset(node, rows[node], prior_map, n=n)
             self._states[node] = tv
             mx, mw = tv.mass()
             initial_mass += mx + mw
@@ -168,7 +175,7 @@ class AsyncMessageGossipEngine(CycleEngine):
                 if node in self._states
             )
             cur_mat = TripletVector.estimates_matrix(
-                [self._states[node] for node in cur_ids], n
+                [self._states[node] for node in cur_ids], n, workspace=self._est_ws
             )
             if (
                 prev_mat is not None

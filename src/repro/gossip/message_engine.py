@@ -37,7 +37,7 @@ from repro.gossip.base import (
     local_rows,
 )
 from repro.gossip.convergence import average_relative_error
-from repro.gossip.vector import TripletVector
+from repro.gossip.vector import EstimatesWorkspace, TripletVector
 from repro.network.overlay import Overlay
 from repro.network.transport import Message, Transport
 from repro.sim.engine import Simulator
@@ -169,6 +169,11 @@ class MessageGossipEngine(CycleEngine):
         self.neighbors_only = bool(neighbors_only)
         self._rng = as_generator(rng)
         self._states: Dict[int, TripletVector] = {}
+        #: per-node TripletVectors recycled across cycles (reset, not
+        #: reallocated — their arrays survive the whole engine lifetime)
+        self._pool: Dict[int, TripletVector] = {}
+        #: reusable buffers for the per-round estimate matrices
+        self._est_ws = EstimatesWorkspace()
         self.cycle_steps = []
         for node in range(overlay.n):
             transport.register(node, self._on_message)
@@ -232,7 +237,13 @@ class MessageGossipEngine(CycleEngine):
         self._states = {}
         initial_mass = 0.0
         for node in self.overlay.alive_nodes().tolist():
-            tv = TripletVector.initial(node, rows[node], prior_map, n=n)
+            # Recycle the node's vector from the pool: reset() zeroes
+            # and refills in place, so cycle N+1 reuses cycle N's arrays
+            # instead of allocating 2 length-n vectors per node.
+            tv = self._pool.get(node)
+            if tv is None:
+                tv = self._pool[node] = TripletVector(n)
+            tv.reset(node, rows[node], prior_map, n=n)
             self._states[node] = tv
             mx, mw = tv.mass()
             initial_mass += mx + mw
@@ -252,8 +263,12 @@ class MessageGossipEngine(CycleEngine):
                 for node in self.overlay.alive_nodes().tolist()
                 if node in self._states
             )
+            # Workspace-backed: the matrix lands in one of two
+            # alternating reusable slots, so prev_mat (the other slot)
+            # stays intact for the convergence comparison below.
             cur_mat = TripletVector.estimates_matrix(
-                [self._states[node] for node in cur_ids], n
+                [self._states[node] for node in cur_ids], n,
+                workspace=self._est_ws,
             )
             if prev_mat is not None and round_no >= self.min_rounds:
                 if _batched_converged(cur_ids, cur_mat, prev_ids, prev_mat, self.epsilon):

@@ -26,7 +26,55 @@ import numpy as np
 from repro.errors import ValidationError
 from repro.types import Triplet
 
-__all__ = ["TripletVector"]
+__all__ = ["TripletVector", "EstimatesWorkspace"]
+
+
+class EstimatesWorkspace:
+    """Reusable buffers for :meth:`TripletVector.estimates_matrix`.
+
+    The message-level engines evaluate the population estimate matrix
+    every round; without reuse that is three fresh ``(m, n)`` arrays
+    per round.  This workspace keeps shared X/W scratch plus **two**
+    alternating output slots: callers (the per-round convergence check)
+    hold on to the *previous* round's matrix while the next one is
+    computed, so consecutive calls must never hand back the same
+    buffer.  Matrices that outlive two calls (e.g. result fields) must
+    be copied by the caller.
+
+    Buffers grow capacity-style and are served as ``[:m, :n]`` views.
+    """
+
+    __slots__ = ("_X", "_W", "_outs", "_flip")
+
+    def __init__(self) -> None:
+        self._X: Optional[np.ndarray] = None
+        self._W: Optional[np.ndarray] = None
+        self._outs: list = [None, None]
+        self._flip = 0
+
+    @staticmethod
+    def _grown(buf: Optional[np.ndarray], m: int, n: int) -> np.ndarray:
+        if buf is None or buf.shape[0] < m or buf.shape[1] < n:
+            rows = m if buf is None else max(m, buf.shape[0])
+            cols = n if buf is None else max(n, buf.shape[1])
+            buf = np.empty((rows, cols))
+        return buf
+
+    def arrays(self, m: int, n: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(X, W, out)`` views of shape ``(m, n)``; out alternates slots."""
+        self._X = self._grown(self._X, m, n)
+        self._W = self._grown(self._W, m, n)
+        self._outs[self._flip] = self._grown(self._outs[self._flip], m, n)
+        out = self._outs[self._flip]
+        self._flip ^= 1
+        return self._X[:m, :n], self._W[:m, :n], out[:m, :n]
+
+    def invalidate(self) -> None:
+        """Release the buffers (next call allocates fresh)."""
+        self._X = None
+        self._W = None
+        self._outs = [None, None]
+        self._flip = 0
 
 
 class TripletVector:
@@ -79,17 +127,41 @@ class TripletVector:
             Optional population size; sizing the arrays up front avoids
             any growth during the cycle.
         """
+        tv = cls(0)
+        tv.reset(owner, local_scores, prior, n=n)
+        return tv
+
+    def reset(
+        self,
+        owner: int,
+        local_scores: Mapping[int, float],
+        prior: Mapping[int, float],
+        *,
+        n: Optional[int] = None,
+    ) -> "TripletVector":
+        """Re-run cycle initialization in place, reusing the arrays.
+
+        Semantically identical to building a fresh :meth:`initial`
+        vector; the existing ``_x``/``_w`` arrays are zeroed and
+        refilled (growing only if capacity is short), so a node's state
+        can be recycled across aggregation cycles without reallocating
+        — the message engine pools its per-node vectors this way.
+        """
         cap = int(n) if n is not None else 0
         cap = max(cap, owner + 1, *(int(j) + 1 for j in local_scores), 1)
-        tv = cls(cap)
+        self._grow_to(cap)
+        self._x[:] = 0.0
+        self._w[:] = 0.0
+        self._known = None
+        self._size = None
         v_own = float(prior.get(owner, 0.0))
         for j, s in local_scores.items():
             if s < 0:
                 raise ValidationError(f"negative local score s[{owner},{j}]={s}")
             if s > 0 and v_own > 0:
-                tv._x[j] = s * v_own
-        tv._w[owner] = 1.0
-        return tv
+                self._x[j] = s * v_own
+        self._w[owner] = 1.0
+        return self
 
     def _grow_to(self, capacity: int) -> None:
         if capacity > self._x.shape[0]:
@@ -156,22 +228,38 @@ class TripletVector:
         return out
 
     @staticmethod
-    def estimates_matrix(vectors: Sequence["TripletVector"], n: int) -> np.ndarray:
+    def estimates_matrix(
+        vectors: Sequence["TripletVector"],
+        n: int,
+        *,
+        workspace: Optional[EstimatesWorkspace] = None,
+    ) -> np.ndarray:
         """Stacked :meth:`estimates_array` for many vectors in one pass.
 
         Returns an ``(len(vectors), n)`` matrix — the per-round
         convergence test and the end-of-cycle aggregation both consume
         the whole population at once, so batching replaces O(n) Python
         per node with two matrix ops.
+
+        With a ``workspace`` the matrices are built in its reusable
+        buffers (the returned matrix is a view into an alternating
+        output slot — valid until the *second* following workspace call;
+        copy it if it must live longer).
         """
         m = len(vectors)
-        X = np.zeros((m, n))
-        W = np.zeros((m, n))
+        if workspace is None:
+            X = np.empty((m, n))
+            W = np.empty((m, n))
+            out = np.empty((m, n))
+        else:
+            X, W, out = workspace.arrays(m, n)
+        X[:] = 0.0
+        W[:] = 0.0
         for i, tv in enumerate(vectors):
             k = min(n, tv._x.shape[0])
             X[i, :k] = tv._x[:k]
             W[i, :k] = tv._w[:k]
-        out = np.full((m, n), np.nan)
+        out.fill(np.nan)
         pos = W > 0
         np.divide(X, W, out=out, where=pos)
         out[~pos & (X > 0)] = np.inf

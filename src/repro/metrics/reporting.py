@@ -13,9 +13,31 @@ from typing import List, Sequence, Union
 
 from repro.errors import ValidationError
 
-__all__ = ["TextTable", "Series"]
+__all__ = ["TextTable", "Series", "percentile"]
 
 Cell = Union[str, int, float]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile of ``values`` (linear interpolation).
+
+    Deterministic pure-Python implementation matching NumPy's default
+    (``linear``) method; used by telemetry summaries so reports do not
+    need an array round-trip for a handful of wall times.  Returns
+    ``0.0`` for an empty sequence.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValidationError(f"percentile q must be in [0, 100], got {q}")
+    data = sorted(float(v) for v in values)
+    if not data:
+        return 0.0
+    if len(data) == 1:
+        return data[0]
+    rank = (q / 100.0) * (len(data) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(data) - 1)
+    frac = rank - lo
+    return data[lo] * (1.0 - frac) + data[hi] * frac
 
 
 def _fmt(value: Cell, float_fmt: str) -> str:

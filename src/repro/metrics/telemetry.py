@@ -22,7 +22,8 @@ import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Iterator, List
 
-from repro.metrics.reporting import TextTable
+from repro.metrics.reporting import TextTable, percentile
+from repro.utils.proc import peak_rss_kib as _peak_rss_kib
 
 if TYPE_CHECKING:
     from repro.gossip.base import GossipCycleResult
@@ -50,6 +51,8 @@ class CycleRecord:
     mode: str
     #: wall-clock seconds spent in ``run_cycle``
     wall_time: float
+    #: process peak RSS when the cycle was recorded (KiB; 0 if unknown)
+    peak_rss_kib: float = 0.0
 
 
 class CycleTelemetry:
@@ -73,6 +76,7 @@ class CycleTelemetry:
             gossip_error=float(result.gossip_error),
             mode=str(result.mode),
             wall_time=float(wall_time),
+            peak_rss_kib=_peak_rss_kib(),
         )
         self.records.append(rec)
         return rec
@@ -112,7 +116,12 @@ class CycleTelemetry:
                 "max_mass_lost_fraction": 0.0,
                 "mean_gossip_error": 0.0,
                 "wall_time": 0.0,
+                "wall_time_p50": 0.0,
+                "wall_time_p90": 0.0,
+                "wall_time_max": 0.0,
+                "peak_rss_kib": 0.0,
             }
+        walls = [r.wall_time for r in recs]
         return {
             "cycles": len(recs),
             "total_steps": sum(r.steps for r in recs),
@@ -120,7 +129,11 @@ class CycleTelemetry:
             "messages_dropped": sum(r.messages_dropped for r in recs),
             "max_mass_lost_fraction": max(r.mass_lost_fraction for r in recs),
             "mean_gossip_error": sum(r.gossip_error for r in recs) / len(recs),
-            "wall_time": sum(r.wall_time for r in recs),
+            "wall_time": sum(walls),
+            "wall_time_p50": percentile(walls, 50.0),
+            "wall_time_p90": percentile(walls, 90.0),
+            "wall_time_max": max(walls),
+            "peak_rss_kib": max(r.peak_rss_kib for r in recs),
         }
 
     def summary_line(self) -> str:
@@ -130,13 +143,25 @@ class CycleTelemetry:
             f"telemetry: {s['cycles']} cycles, {s['total_steps']} steps, "
             f"{s['messages_sent']} msgs sent ({s['messages_dropped']} dropped), "
             f"max mass lost {s['max_mass_lost_fraction']:.3g}, "
-            f"{s['wall_time']:.3f}s gossip wall time"
+            f"{s['wall_time']:.3f}s gossip wall time "
+            f"(p50 {s['wall_time_p50']:.3f}s, p90 {s['wall_time_p90']:.3f}s, "
+            f"max {s['wall_time_max']:.3f}s), peak rss {s['peak_rss_kib']:.0f} KiB"
         )
 
     def render(self) -> str:
         """Per-cycle table rendering."""
         table = TextTable(
-            ["cycle", "mode", "steps", "msgs", "dropped", "mass_lost", "gossip_err", "wall_s"],
+            [
+                "cycle",
+                "mode",
+                "steps",
+                "msgs",
+                "dropped",
+                "mass_lost",
+                "gossip_err",
+                "wall_s",
+                "rss_kib",
+            ],
             title="Per-cycle telemetry",
             float_fmt=".3g",
         )
@@ -151,6 +176,7 @@ class CycleTelemetry:
                     r.mass_lost_fraction,
                     r.gossip_error,
                     r.wall_time,
+                    r.peak_rss_kib,
                 ]
             )
         return table.render()

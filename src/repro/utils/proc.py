@@ -1,0 +1,31 @@
+"""Process-level resource metrics.
+
+One shared reader for the process's peak resident set size, used by the
+per-cycle telemetry (:mod:`repro.metrics.telemetry`), the parallel sweep
+runner (:mod:`repro.experiments.runner`), and the benchmark trajectory
+writer (``tools/bench_runner.py``) so every layer reports memory in the
+same unit (KiB) from the same source.
+"""
+
+from __future__ import annotations
+
+import platform
+
+__all__ = ["peak_rss_kib"]
+
+
+def peak_rss_kib() -> float:
+    """Max resident set size of this process so far, in KiB.
+
+    Returns 0.0 on platforms without :mod:`resource` (e.g. Windows) —
+    callers treat 0.0 as "unknown", never as a real measurement.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0.0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB, macOS reports bytes.
+    if platform.system() == "Darwin":  # pragma: no cover - platform branch
+        peak /= 1024.0
+    return float(peak)

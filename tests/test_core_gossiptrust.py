@@ -112,3 +112,37 @@ class TestMessageEngineIntegration:
         result = system.run(raise_on_budget=False)
         assert result.aggregation_error < 0.05
         assert result.cycle_results[0].mode == "message"
+
+
+class TestMassLossGuard:
+    """A cycle that destroys all reputation mass must fail loudly."""
+
+    class _ZeroMassEngine:
+        """Fake engine whose cycle returns an all-zero vector."""
+
+        name = "zero"
+
+        def run_cycle(self, S, v):
+            from repro.gossip.base import GossipCycleResult
+
+            n = v.shape[0]
+            return GossipCycleResult(
+                v_next=np.zeros(n),
+                exact=np.zeros(n),
+                steps=1,
+                gossip_error=0.0,
+                converged=True,
+                mode="zero",
+            )
+
+    def test_zero_mass_cycle_raises_with_cycle_number(self, random_S):
+        cfg = GossipTrustConfig(n=random_S.n, alpha=0.0, seed=0)
+        system = GossipTrust(random_S, cfg, engine=self._ZeroMassEngine())
+        with pytest.raises(ConvergenceError) as excinfo:
+            system.run(raise_on_budget=False)
+        assert "cycle 1" in str(excinfo.value)
+
+    def test_healthy_run_unaffected(self, random_S):
+        cfg = GossipTrustConfig(n=random_S.n, alpha=0.15, seed=0)
+        result = GossipTrust(random_S, cfg).run(raise_on_budget=False)
+        assert result.vector.sum() == pytest.approx(1.0)

@@ -165,3 +165,26 @@ class TestTelemetry:
         assert "steps" in rendered
         tel.clear()
         assert len(tel) == 0
+
+    def test_summary_percentiles_and_rss(self, random_S):
+        tel = CycleTelemetry()
+        cfg = GossipTrustConfig(n=random_S.n, seed=3)
+        GossipTrust(random_S, cfg).run(telemetry=tel)
+        summary = tel.summary()
+        walls = sorted(r.wall_time for r in tel)
+        assert summary["wall_time_max"] == walls[-1]
+        assert walls[0] <= summary["wall_time_p50"] <= summary["wall_time_p90"]
+        assert summary["wall_time_p90"] <= summary["wall_time_max"]
+        # cycles record the recording process's peak RSS (0.0 only where
+        # the resource module is unavailable)
+        assert summary["peak_rss_kib"] == max(r.peak_rss_kib for r in tel)
+        assert all(r.peak_rss_kib >= 0.0 for r in tel)
+        line = tel.summary_line()
+        assert "p50" in line and "peak rss" in line
+
+    def test_empty_summary_has_percentile_keys(self):
+        summary = CycleTelemetry().summary()
+        assert summary["wall_time_p50"] == 0.0
+        assert summary["wall_time_p90"] == 0.0
+        assert summary["wall_time_max"] == 0.0
+        assert summary["peak_rss_kib"] == 0.0

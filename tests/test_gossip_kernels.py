@@ -151,3 +151,71 @@ class TestExactAggregate:
             np.testing.assert_allclose(
                 exact_aggregate(form, v, N), expected, rtol=1e-12
             )
+
+
+class TestWorkspaceReuse:
+    """The persistent cycle workspace must be invisible in the results."""
+
+    def _pair(self, mode):
+        reuse = make_engine(
+            "sync", n=N, rng=RngStreams(SEED), epsilon=EPSILON,
+            mode=mode, kernel="fast", reuse_workspace=True,
+        )
+        fresh = make_engine(
+            "sync", n=N, rng=RngStreams(SEED), epsilon=EPSILON,
+            mode=mode, kernel="fast", reuse_workspace=False,
+        )
+        return reuse, fresh
+
+    @pytest.mark.parametrize("mode", ["full", "probe"])
+    def test_reuse_matches_fresh_step_for_step(self, mode):
+        """Workspace-reuse runs equal fresh-workspace runs, cycle by cycle."""
+        S, v = _instance(N)
+        reuse, fresh = self._pair(mode)
+        vr, vf = v.copy(), v.copy()
+        for _ in range(3):
+            rr = reuse.run_cycle(S, vr)
+            rf = fresh.run_cycle(S, vf)
+            assert rr.steps == rf.steps
+            np.testing.assert_array_equal(rr.v_next, rf.v_next)
+            assert rr.gossip_error == rf.gossip_error
+            vr = rr.v_next / rr.v_next.sum()
+            vf = rf.v_next / rf.v_next.sum()
+
+    def test_repeated_cycles_on_one_engine_are_deterministic(self):
+        """Two engines with the same seed agree even though one has a
+        warm (already-written) workspace by its second cycle."""
+        S, v = _instance(N)
+        a = make_engine("sync", n=N, rng=RngStreams(SEED), epsilon=EPSILON, mode="full")
+        b = make_engine("sync", n=N, rng=RngStreams(SEED), epsilon=EPSILON, mode="full")
+        va, vb = v.copy(), v.copy()
+        for _ in range(3):
+            ra = a.run_cycle(S, va)
+            rb = b.run_cycle(S, vb)
+            np.testing.assert_array_equal(ra.v_next, rb.v_next)
+            va = ra.v_next / ra.v_next.sum()
+            vb = rb.v_next / rb.v_next.sum()
+
+    def test_workspace_survives_cycles_and_invalidates(self):
+        S, v = _instance(N)
+        eng = make_engine("sync", n=N, rng=RngStreams(SEED), epsilon=EPSILON, mode="full")
+        assert eng.workspace is None
+        eng.run_cycle(S, v)
+        ws = eng.workspace
+        assert ws is not None and ws.valid
+        eng.run_cycle(S, v)
+        assert eng.workspace is ws  # survived across cycles
+        eng.invalidate_workspace()
+        assert not ws.valid
+        assert eng.workspace is None
+        eng.run_cycle(S, v)
+        assert eng.workspace is not ws  # rebuilt after invalidation
+
+    def test_reuse_disabled_keeps_no_workspace(self):
+        S, v = _instance(N)
+        eng = make_engine(
+            "sync", n=N, rng=RngStreams(SEED), epsilon=EPSILON,
+            mode="full", reuse_workspace=False,
+        )
+        eng.run_cycle(S, v)
+        assert eng.workspace is None

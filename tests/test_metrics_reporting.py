@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ValidationError
-from repro.metrics.reporting import Series, TextTable
+from repro.metrics.reporting import Series, TextTable, percentile
 
 
 class TestTextTable:
@@ -63,3 +63,25 @@ class TestSeries:
     def test_mismatched_init_rejected(self):
         with pytest.raises(ValidationError):
             Series("bad", x=[1.0], y=[])
+
+
+class TestPercentile:
+    def test_interpolation_matches_numpy_default(self):
+        import numpy as np
+
+        values = [5.0, 1.0, 3.0, 2.0, 4.0]
+        for q in (0, 10, 25, 50, 75, 90, 100):
+            assert percentile(values, q) == pytest.approx(
+                float(np.percentile(values, q))
+            )
+
+    def test_edge_cases(self):
+        assert percentile([], 50) == 0.0
+        assert percentile([7.0], 90) == 7.0
+        assert percentile([1.0, 2.0], 50) == pytest.approx(1.5)
+
+    def test_rejects_out_of_range_q(self):
+        with pytest.raises(ValidationError):
+            percentile([1.0], 101)
+        with pytest.raises(ValidationError):
+            percentile([1.0], -1)

@@ -16,6 +16,13 @@ speedup is visible in the artifact itself.  The message engine runs at
 n <= 500 (it simulates every point-to-point message; larger sweeps
 belong to the pytest-benchmark suite).
 
+Since schema 2 an ``end_to_end`` section extends the per-cycle cells:
+
+* full multi-cycle ``GossipTrust.run`` wall time with the persistent
+  engine workspace on and off (the ``workspace_reuse_speedup`` ratio);
+* sweep-runner throughput (points/sec) at workers in {1, 2, 4}
+  ({1, 2} in quick mode) over Fig. 3-style points.
+
 Usage::
 
     PYTHONPATH=src python tools/bench_runner.py [--quick] [--output PATH]
@@ -25,6 +32,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import platform
 import sys
@@ -35,8 +43,13 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 import numpy as np  # noqa: E402
 
+from repro.core.config import GossipTrustConfig  # noqa: E402
+from repro.core.gossiptrust import GossipTrust  # noqa: E402
+from repro.experiments.fig3_gossip_steps import _fig3_point  # noqa: E402
+from repro.experiments.runner import SweepPoint, run_sweep  # noqa: E402
 from repro.experiments.synthetic import synthetic_trust_matrix  # noqa: E402
 from repro.gossip.factory import make_engine  # noqa: E402
+from repro.utils.proc import peak_rss_kib  # noqa: E402
 from repro.utils.rng import RngStreams  # noqa: E402
 
 SEED = 0
@@ -44,19 +57,16 @@ EPSILON = 1e-4
 N_SWEEP = (250, 500, 1000)
 #: message-engine cap: it simulates every message, so it sweeps small n
 MESSAGE_N_MAX = 500
-
-
-def _peak_rss_kib() -> float:
-    """Max resident set size so far, in KiB (0.0 where unsupported)."""
-    try:
-        import resource
-    except ImportError:  # pragma: no cover - non-POSIX
-        return 0.0
-    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-    # Linux reports KiB, macOS reports bytes.
-    if platform.system() == "Darwin":  # pragma: no cover
-        peak /= 1024.0
-    return float(peak)
+#: end-to-end GossipTrust.run problem size (quick mode shrinks it)
+E2E_N = 1000
+E2E_N_QUICK = 250
+#: sweep-throughput worker fan-out (quick mode trims to {1, 2})
+SWEEP_WORKERS = (1, 2, 4)
+SWEEP_WORKERS_QUICK = (1, 2)
+#: Fig. 3-style sweep-point parameters for the throughput benchmark
+SWEEP_POINT_N = 300
+SWEEP_POINT_N_QUICK = 150
+SWEEP_POINTS = 8
 
 
 def bench_cell(engine: str, n: int, repeats: int, **overrides) -> dict:
@@ -80,8 +90,115 @@ def bench_cell(engine: str, n: int, repeats: int, **overrides) -> dict:
         "wall_times_s": [round(t, 6) for t in times],
         "steps": steps,
         "converged": converged,
-        "peak_rss_kib": _peak_rss_kib(),
+        "peak_rss_kib": peak_rss_kib(),
         "options": overrides,
+    }
+
+
+def bench_full_runs(n: int, repeats: int) -> list:
+    """Median full multi-cycle ``GossipTrust.run`` wall time, workspace
+    reuse on vs off.
+
+    The two variants' repeats are interleaved (reuse, fresh, reuse,
+    fresh, ...) so machine drift during the bench biases neither side.
+    """
+    S = synthetic_trust_matrix(n, rng=RngStreams(SEED).get("matrix"))
+    cfg = GossipTrustConfig(n=n, epsilon=EPSILON, seed=SEED)
+    cells = {}
+    for reuse in (True, False):
+        cells[reuse] = {
+            "kind": "gossiptrust_run",
+            "n": n,
+            "reuse_workspace": reuse,
+            "wall_times_s": [],
+        }
+
+    def once(reuse: bool) -> float:
+        eng = make_engine("sync", cfg, rng=RngStreams(SEED), reuse_workspace=reuse)
+        system = GossipTrust(S, cfg, engine=eng)
+        t0 = time.perf_counter()
+        result = system.run(raise_on_budget=False, compute_reference=False)
+        elapsed = time.perf_counter() - t0
+        cells[reuse]["cycles"] = int(result.cycles)
+        cells[reuse]["total_gossip_steps"] = int(result.total_gossip_steps)
+        return elapsed
+
+    once(True)  # warm caches outside the measured repeats
+    for _ in range(repeats):
+        for reuse in (True, False):
+            cells[reuse]["wall_times_s"].append(round(once(reuse), 6))
+    for cell in cells.values():
+        times = cell["wall_times_s"]
+        cell["wall_time_s"] = sorted(times)[len(times) // 2]
+        cell["peak_rss_kib"] = peak_rss_kib()
+    return [cells[True], cells[False]]
+
+
+def bench_sweeps(point_n: int, workers_list) -> list:
+    """Sweep-runner throughput over Fig. 3-style points per worker count."""
+    points = [
+        SweepPoint(
+            fn=_fig3_point,
+            kwargs={
+                "n": point_n,
+                "epsilon": 1e-3,
+                "cycles_per_point": 1,
+                "engine": "sync",
+            },
+            seed=seed,
+            label=f"bench/n={point_n}/s{seed}",
+        )
+        for seed in range(SWEEP_POINTS)
+    ]
+    rows = []
+    for workers in workers_list:
+        report = run_sweep(points, workers=workers)
+        rows.append(
+            {
+                "kind": "sweep",
+                "point_n": point_n,
+                "points": len(points),
+                "workers": workers,
+                "wall_time_s": round(report.wall_time, 6),
+                "points_per_second": round(report.points_per_second, 3),
+                "peak_rss_kib": report.max_peak_rss_kib,
+            }
+        )
+    return rows
+
+
+def run_end_to_end(quick: bool) -> dict:
+    """The schema-2 section: full-run reuse ratio and sweep throughput.
+
+    The reuse-vs-fresh gap is a few percent of a multi-second run, so
+    the full mode uses more repeats than the per-cycle grid to keep the
+    recorded ratio out of the noise.
+    """
+    repeats = 1 if quick else 7
+    n = E2E_N_QUICK if quick else E2E_N
+    runs = bench_full_runs(n, repeats)
+    for cell in runs:
+        reuse = cell["reuse_workspace"]
+        print(
+            f"{'gossiptrust.run reuse_workspace=' + str(reuse):55s} "
+            f"n={n:5d}  {cell['wall_time_s']:8.3f}s  cycles={cell['cycles']}"
+        )
+    speedup = runs[1]["wall_time_s"] / max(runs[0]["wall_time_s"], 1e-12)
+    sweeps = bench_sweeps(
+        SWEEP_POINT_N_QUICK if quick else SWEEP_POINT_N,
+        SWEEP_WORKERS_QUICK if quick else SWEEP_WORKERS,
+    )
+    for row in sweeps:
+        print(
+            f"{'sweep workers=' + str(row['workers']):55s} "
+            f"n={row['point_n']:5d}  {row['wall_time_s']:8.3f}s  "
+            f"{row['points_per_second']:.2f} pts/s"
+        )
+    return {
+        "runs": runs,
+        "workspace_reuse_speedup": round(speedup, 4),
+        "sweeps": sweeps,
+        "cpu_count": os.cpu_count(),
     }
 
 
@@ -107,13 +224,14 @@ def run(quick: bool) -> dict:
             )
             entries.append(cell)
     return {
-        "schema": 1,
+        "schema": 2,
         "quick": quick,
         "seed": SEED,
         "epsilon": EPSILON,
         "python": platform.python_version(),
         "numpy": np.__version__,
         "entries": entries,
+        "end_to_end": run_end_to_end(quick),
     }
 
 

@@ -61,16 +61,33 @@ lines += [
     "- **`mode`** — `\"full\"` tracks all n columns; `\"probe\"` tracks",
     "  `probe_columns` sampled columns (plus the heaviest-mass column)",
     "  for large sweeps.",
+    "- **`reuse_workspace`** — keep the cycle buffers in a persistent",
+    "  `Workspace` keyed on `(n, p)` that survives across `run_cycle`",
+    "  calls and runs (default `True`; `False` restores the per-cycle",
+    "  allocation baseline, `invalidate_workspace()` drops it",
+    "  explicitly). Warm and fresh workspaces produce identical results",
+    "  step for step.",
     "",
     "`MessageGossipEngine` keeps per-node state in array-backed",
-    "`TripletVector`s and evaluates the per-round epsilon criterion",
-    "population-at-once; its dominant cost is the simulated transport,",
-    "not the convergence bookkeeping.",
+    "`TripletVector`s (pooled across cycles and re-initialized in place",
+    "via `TripletVector.reset`) and evaluates the per-round epsilon",
+    "criterion population-at-once in a reusable `EstimatesWorkspace`;",
+    "its dominant cost is the simulated transport, not the convergence",
+    "bookkeeping.",
+    "",
+    "`repro.experiments.runner` fans experiment sweeps over worker",
+    "processes: declare `SweepPoint`s (picklable point function + kwargs",
+    "+ root seed) and call `run_sweep(points, workers=N)` — ordered",
+    "results, per-point wall time and peak RSS, identical values at any",
+    "worker count (`--workers` on the CLI).",
     "",
     "Run `PYTHONPATH=src python tools/bench_runner.py` to regenerate the",
-    "tracked benchmark trajectory in `BENCH_engines.json`, or",
-    "`pytest benchmarks/bench_engines.py` for the asserting comparison",
-    "(fast >= 3x legacy at n = 1000).",
+    "tracked benchmark trajectory in `BENCH_engines.json` (schema 2:",
+    "per-cycle engine grid plus end-to-end `GossipTrust.run` and",
+    "sweep-throughput sections), or `pytest benchmarks/bench_engines.py`",
+    "for the asserting comparisons (fast >= 3x legacy at n = 1000,",
+    "workspace reuse at least break-even, parallel sweep faster than",
+    "serial on multi-core boxes).",
     "",
 ]
 import os
