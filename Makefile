@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint ci bench bench-smoke sweep examples experiments docs clean
+.PHONY: install test lint analyze typecheck ci bench bench-smoke sweep examples experiments docs clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -19,8 +19,22 @@ lint:
 		echo "ruff not installed; skipping lint (CI runs it)"; \
 	fi
 
-# What CI runs: the tier-1 suite plus lint.
-ci: test lint
+# Project-specific invariant lint (GT001-GT004); stdlib-only, so it
+# always runs — see tools/analyze.py and src/repro/analysis/.
+analyze:
+	PYTHONPATH=src $(PYTHON) tools/analyze.py src tests examples tools
+
+# Strict typing gate over the algorithmic core (see [tool.mypy] in
+# pyproject.toml).  Gated like lint: skip cleanly when mypy is missing.
+typecheck:
+	@if $(PYTHON) -m mypy --version >/dev/null 2>&1; then \
+		$(PYTHON) -m mypy; \
+	else \
+		echo "mypy not installed; skipping typecheck (CI runs it)"; \
+	fi
+
+# What CI runs: the tier-1 suite plus the three static gates.
+ci: test analyze lint typecheck
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -25,7 +25,7 @@ from repro.metrics.errors import rms_relative_error
 from repro.peers.threat_models import build_independent_scenario
 from repro.trust.qof import QofWeightedAggregation, feedback_quality
 from repro.types import TransactionOutcome
-from repro.utils.rng import RngStreams
+from repro.utils.rng import RngStreams, as_generator
 from repro.workload.object_reputation import ObjectReputation
 
 
@@ -47,7 +47,7 @@ def demo_qof() -> None:
 
 def demo_object_reputation() -> None:
     print("\n=== 2. object (version) reputation vs poisoning ===")
-    rng = np.random.default_rng(5)
+    rng = as_generator(5)
     obj = ObjectReputation(n_files=50, versions_per_file=3)
     # 40% of voters lie; honest voters have 10x their vote weight.
     poisoned_downloads = 0

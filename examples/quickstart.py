@@ -18,11 +18,12 @@ from repro import (
     TrustMatrix,
 )
 from repro.baselines.centralized import CentralizedEigenvector
+from repro.utils.rng import as_generator
 
 
 def main() -> None:
     n = 12
-    rng = np.random.default_rng(7)
+    rng = as_generator(7)
 
     # 1. Peers transact and rate each other (+1 authentic / -1 not).
     #    Peer 0 is a great server; peer 11 serves junk.

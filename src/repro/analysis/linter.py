@@ -1,0 +1,212 @@
+"""Custom AST lint framework for project-specific invariants.
+
+Generic linters cannot know that *this* codebase promises bit-identical
+runs under a seeded :class:`~repro.utils.rng.RngStreams`, or that the
+fast gossip kernels are allocation-free by contract.  This module is the
+small framework those project rules plug into:
+
+* :class:`SourceFile` — one parsed file: AST, raw lines, and the
+  ``# noqa: GTxxx`` suppression map shared by every rule.
+* :class:`Rule` — base class; a rule declares its ``code``, a one-line
+  ``summary``, path ``include``/``exclude`` patterns, and implements
+  :meth:`Rule.check` yielding :class:`Violation` objects.
+* :class:`Violation` — one finding, renderable as plain text or as a
+  GitHub Actions ``::error`` annotation.
+* :func:`lint_paths` / :func:`lint_sources` — the driver used by
+  ``tools/analyze.py`` and the fixture self-tests.
+
+Suppression: a trailing ``# noqa: GT004`` comment silences that rule on
+that line (comma-separated codes; a bare ``# noqa`` silences all rules).
+Suppressions are for *documented intent* — e.g. an exact float sentinel
+comparison — not for postponing fixes.
+
+Adding a rule: subclass :class:`Rule` in ``repro/analysis/rules/``,
+register it in :data:`repro.analysis.rules.ALL_RULES`, and add a
+fixture test proving it fires on a violating snippet and stays silent
+on a compliant one (see ``tests/test_analysis_linter.py``).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import ClassVar, Dict, FrozenSet, Iterable, Iterator, List, Sequence, Tuple
+
+__all__ = [
+    "Violation",
+    "SourceFile",
+    "Rule",
+    "lint_sources",
+    "lint_paths",
+    "iter_python_files",
+]
+
+#: the rule code used for files that do not parse
+PARSE_ERROR_CODE = "GT000"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One lint finding: rule code, location, and message."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self, fmt: str = "text") -> str:
+        """Render for terminals (``text``) or CI (``github``)."""
+        if fmt == "github":
+            return (
+                f"::error file={self.path},line={self.line},col={self.col},"
+                f"title={self.rule}::{self.message}"
+            )
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+def _noqa_codes(line: str) -> FrozenSet[str]:
+    """Codes suppressed by a ``# noqa`` comment on ``line`` (``*`` = all)."""
+    lower = line.lower()
+    idx = lower.find("# noqa")
+    if idx < 0:
+        return frozenset()
+    rest = line[idx + len("# noqa"):]
+    if not rest.lstrip().startswith(":"):
+        return frozenset({"*"})
+    spec = rest.lstrip()[1:]
+    # Codes run until a second comment or end of line; split on commas.
+    spec = spec.split("#", 1)[0]
+    codes = {tok.strip().upper() for tok in spec.split(",") if tok.strip()}
+    return frozenset(codes) if codes else frozenset({"*"})
+
+
+class SourceFile:
+    """One parsed Python source file, shared across all rules.
+
+    Parsing and the suppression scan happen once here; every rule then
+    walks the same AST.  ``path`` is kept exactly as given so reported
+    locations match what the caller passed (relative paths stay
+    relative — what CI annotations need).
+    """
+
+    def __init__(self, path: str, text: str):
+        self.path = str(path)
+        self.text = text
+        self.lines: List[str] = text.splitlines()
+        self.tree: ast.Module = ast.parse(text, filename=self.path)
+        #: 1-based line -> codes suppressed on that line
+        self.noqa: Dict[int, FrozenSet[str]] = {
+            i: codes
+            for i, raw in enumerate(self.lines, start=1)
+            if (codes := _noqa_codes(raw))
+        }
+        #: normalized posix path used for rule scoping
+        self.posix = Path(self.path).as_posix()
+
+    @classmethod
+    def read(cls, path: str) -> "SourceFile":
+        """Load and parse ``path`` (UTF-8)."""
+        return cls(path, Path(path).read_text(encoding="utf-8"))
+
+    def suppressed(self, code: str, line: int) -> bool:
+        """Whether rule ``code`` is ``# noqa``-silenced on ``line``."""
+        codes = self.noqa.get(line)
+        return bool(codes) and ("*" in codes or code.upper() in codes)
+
+
+class Rule:
+    """Base class of every project lint rule.
+
+    Subclasses set :attr:`code` (``"GT00x"``), :attr:`summary`, the
+    path-scoping patterns, and implement :meth:`check`.  Scoping matches
+    on normalized posix paths: a rule applies when any ``include``
+    substring occurs in the path (empty ``include`` = everywhere) and no
+    ``exclude`` substring does.
+    """
+
+    code: ClassVar[str] = ""
+    summary: ClassVar[str] = ""
+    #: substring patterns selecting the files the rule runs on
+    include: ClassVar[Tuple[str, ...]] = ()
+    #: substring patterns exempting files even when included
+    exclude: ClassVar[Tuple[str, ...]] = ()
+
+    def applies_to(self, src: SourceFile) -> bool:
+        """Whether this rule runs on ``src`` (path scoping)."""
+        path = src.posix
+        if any(pat in path for pat in self.exclude):
+            return False
+        return not self.include or any(pat in path for pat in self.include)
+
+    def check(self, src: SourceFile) -> Iterator[Violation]:
+        """Yield violations found in ``src``; override in subclasses."""
+        raise NotImplementedError
+
+    def violation(self, src: SourceFile, node: ast.AST, message: str) -> Violation:
+        """Build a :class:`Violation` located at ``node``."""
+        return Violation(
+            rule=self.code,
+            path=src.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+def lint_sources(sources: Iterable[SourceFile], rules: Sequence[Rule]) -> List[Violation]:
+    """Run ``rules`` over parsed ``sources``; suppressions applied."""
+    out: List[Violation] = []
+    for src in sources:
+        for rule in rules:
+            if not rule.applies_to(src):
+                continue
+            for v in rule.check(src):
+                if not src.suppressed(v.rule, v.line):
+                    out.append(v)
+    out.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return out
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
+    """Expand files/directories into a sorted stream of ``.py`` paths."""
+    seen = set()
+    for raw in paths:
+        p = Path(raw)
+        candidates = sorted(p.rglob("*.py")) if p.is_dir() else [p]
+        for f in candidates:
+            if "__pycache__" in f.parts:
+                continue
+            key = f.as_posix()
+            if key not in seen:
+                seen.add(key)
+                yield key
+
+
+def lint_paths(paths: Sequence[str], rules: Sequence[Rule]) -> List[Violation]:
+    """Lint every ``.py`` file under ``paths`` with ``rules``.
+
+    Files that fail to parse surface as :data:`GT000 <PARSE_ERROR_CODE>`
+    violations rather than aborting the run — a broken file must fail
+    the gate, not hide the rest of the report.
+    """
+    sources: List[SourceFile] = []
+    violations: List[Violation] = []
+    for path in iter_python_files(paths):
+        try:
+            sources.append(SourceFile.read(path))
+        except (SyntaxError, ValueError, UnicodeDecodeError) as exc:
+            line = getattr(exc, "lineno", None) or 1
+            violations.append(
+                Violation(
+                    rule=PARSE_ERROR_CODE,
+                    path=path,
+                    line=int(line),
+                    col=1,
+                    message=f"file does not parse: {exc}",
+                )
+            )
+    violations.extend(lint_sources(sources, rules))
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return violations

@@ -1,0 +1,43 @@
+"""Project lint rules — the GT rule catalog.
+
+=========  ==============================================================
+``GT001``  No ad-hoc / global RNG: randomness flows through
+           ``utils.rng`` (:class:`~repro.utils.rng.RngStreams`,
+           :func:`~repro.utils.rng.as_generator`).
+``GT002``  No array allocations inside ``# hot:``-marked regions of the
+           fast-kernel paths (the allocation-free contract of PR 2).
+``GT003``  No wall-clock reads in the deterministic core
+           (``core/``, ``gossip/``, ``sim/``, ``trust/``).
+``GT004``  No bare float ``==`` / ``!=`` comparisons in numeric modules.
+=========  ==============================================================
+
+Each rule lives in its own module; :data:`ALL_RULES` is the canonical
+registry consumed by ``tools/analyze.py``.  To add a rule, drop a
+:class:`~repro.analysis.linter.Rule` subclass module here, append an
+instance below, and add fixture self-tests (see DESIGN.md, "Static
+analysis & sanitizers").
+"""
+
+from typing import Tuple
+
+from repro.analysis.linter import Rule
+from repro.analysis.rules.gt001_rng import NoAdHocRngRule
+from repro.analysis.rules.gt002_alloc import NoHotAllocRule
+from repro.analysis.rules.gt003_wallclock import NoWallClockRule
+from repro.analysis.rules.gt004_floateq import NoBareFloatEqRule
+
+__all__ = [
+    "ALL_RULES",
+    "NoAdHocRngRule",
+    "NoHotAllocRule",
+    "NoWallClockRule",
+    "NoBareFloatEqRule",
+]
+
+#: the full GT rule set, in catalog order
+ALL_RULES: Tuple[Rule, ...] = (
+    NoAdHocRngRule(),
+    NoHotAllocRule(),
+    NoWallClockRule(),
+    NoBareFloatEqRule(),
+)

@@ -1,0 +1,118 @@
+"""GT001 — no ad-hoc or global RNG outside ``utils/rng.py``.
+
+The parallel sweep runner's bit-determinism guarantee (workers=N equals
+workers=1) holds only because every stochastic component draws from a
+*named child stream* of one root seed (:class:`~repro.utils.rng.RngStreams`).
+A stray ``np.random.default_rng()`` — or worse, the legacy global
+``np.random.seed`` / ``random`` module — silently breaks that: its draws
+depend on call order and process identity, not the experiment seed.
+
+Flagged in library and example code:
+
+* any call through ``np.random`` / ``numpy.random`` (``default_rng``,
+  ``seed``, ``RandomState``, legacy distribution functions, ...);
+* ``from numpy.random import ...`` (the same calls in disguise);
+* any import of the stdlib ``random`` module.
+
+Type annotations such as ``np.random.Generator`` are attribute
+*references*, not calls, and pass.  The sanctioned constructions live in
+``repro/utils/rng.py``, which is exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set, Tuple
+
+from repro.analysis.linter import Rule, SourceFile, Violation
+
+__all__ = ["NoAdHocRngRule"]
+
+_ADVICE = "route randomness through utils.rng (RngStreams / as_generator)"
+
+
+def _numpy_aliases(tree: ast.Module) -> Tuple[Set[str], Set[str], Set[str]]:
+    """Names bound to numpy, numpy.random, and numpy.random members."""
+    numpy_names: Set[str] = set()
+    nprandom_names: Set[str] = set()
+    member_names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "numpy":
+                    numpy_names.add(alias.asname or "numpy")
+                elif alias.name == "numpy.random" and alias.asname:
+                    nprandom_names.add(alias.asname)
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "numpy":
+                for alias in node.names:
+                    if alias.name == "random":
+                        nprandom_names.add(alias.asname or "random")
+            elif node.module == "numpy.random":
+                for alias in node.names:
+                    member_names.add(alias.asname or alias.name)
+    return numpy_names, nprandom_names, member_names
+
+
+class NoAdHocRngRule(Rule):
+    """All randomness flows through ``utils.rng`` (GT001)."""
+
+    code = "GT001"
+    summary = "no global/module-level RNG; use utils.rng streams"
+    include = ("repro/", "examples/")
+    exclude = ("repro/utils/rng.py", "tests/", "conftest.py")
+
+    def check(self, src: SourceFile) -> Iterator[Violation]:
+        numpy_names, nprandom_names, member_names = _numpy_aliases(src.tree)
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield self.violation(
+                            src, node, f"stdlib 'random' import — {_ADVICE}"
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    yield self.violation(
+                        src, node, f"stdlib 'random' import — {_ADVICE}"
+                    )
+                elif node.module == "numpy.random":
+                    yield self.violation(
+                        src,
+                        node,
+                        f"direct numpy.random import — {_ADVICE}",
+                    )
+            elif isinstance(node, ast.Call):
+                label = self._rng_call(
+                    node.func, numpy_names, nprandom_names, member_names
+                )
+                if label is not None:
+                    yield self.violation(
+                        src, node, f"ad-hoc RNG call '{label}' — {_ADVICE}"
+                    )
+
+    @staticmethod
+    def _rng_call(
+        func: ast.expr,
+        numpy_names: Set[str],
+        nprandom_names: Set[str],
+        member_names: Set[str],
+    ) -> "str | None":
+        """The dotted name of an ``np.random`` call, or None if clean."""
+        if isinstance(func, ast.Name) and func.id in member_names:
+            return func.id
+        if not isinstance(func, ast.Attribute):
+            return None
+        # np.random.<fn>(...) — Attribute(Attribute(Name(np), random), fn)
+        base = func.value
+        if (
+            isinstance(base, ast.Attribute)
+            and base.attr == "random"
+            and isinstance(base.value, ast.Name)
+            and base.value.id in numpy_names
+        ):
+            return f"{base.value.id}.random.{func.attr}"
+        # nprand.<fn>(...) where nprand aliases numpy.random
+        if isinstance(base, ast.Name) and base.id in nprandom_names:
+            return f"{base.id}.{func.attr}"
+        return None

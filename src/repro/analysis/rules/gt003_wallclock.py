@@ -1,0 +1,96 @@
+"""GT003 — no wall-clock reads in the deterministic core.
+
+The aggregation loop, the gossip engines, the DES simulator, and the
+trust substrate are all replayed bit-for-bit by the contract suite and
+the parallel sweep runner.  A wall-clock read in any of them is either a
+determinism bug (behaviour branching on real time) or misplaced
+telemetry; both belong in the measurement layer.
+
+Flagged inside ``core/``, ``gossip/``, ``sim/``, and ``trust/``:
+
+* references to ``time.time``, ``time.perf_counter``,
+  ``time.monotonic``, ``time.process_time`` (calls *or* bare
+  references — passing ``time.time`` as a callback is just as bad);
+* ``datetime.now`` / ``datetime.utcnow`` / ``date.today``;
+* names imported from :mod:`time`/:mod:`datetime` that resolve to the
+  above (``from time import perf_counter``).
+
+Simulated time (``sim.now``) is, of course, fine.  The sanctioned
+wall-clock readers are the telemetry layer (``metrics/telemetry.py`` —
+use its ``Stopwatch``) and ``utils/proc.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.analysis.linter import Rule, SourceFile, Violation
+
+__all__ = ["NoWallClockRule"]
+
+_TIME_ATTRS = frozenset({"time", "perf_counter", "monotonic", "process_time"})
+_DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
+_ADVICE = (
+    "deterministic core must not read the wall clock; use "
+    "metrics.telemetry.Stopwatch in the measurement layer"
+)
+
+
+class NoWallClockRule(Rule):
+    """Core/gossip/sim/trust never read the wall clock (GT003)."""
+
+    code = "GT003"
+    summary = "no wall-clock (time.*/datetime.now) in the deterministic core"
+    include = ("repro/core/", "repro/gossip/", "repro/sim/", "repro/trust/")
+    exclude = ("repro/metrics/telemetry.py", "repro/utils/proc.py")
+
+    def check(self, src: SourceFile) -> Iterator[Violation]:
+        clock_names: Set[str] = set()
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.ImportFrom):
+                if node.module == "time":
+                    for alias in node.names:
+                        if alias.name in _TIME_ATTRS:
+                            clock_names.add(alias.asname or alias.name)
+                            yield self.violation(
+                                src,
+                                node,
+                                f"imports wall clock 'time.{alias.name}' — {_ADVICE}",
+                            )
+                elif node.module == "datetime":
+                    # `from datetime import datetime` is fine as a type;
+                    # only .now()/.utcnow() usage below is flagged.
+                    continue
+            elif isinstance(node, ast.Attribute):
+                base = node.value
+                if (
+                    isinstance(base, ast.Attribute)
+                    and base.attr in ("datetime", "date")
+                    and node.attr in _DATETIME_ATTRS
+                ):
+                    # datetime.datetime.now(...) / dt.date.today(...)
+                    yield self.violation(
+                        src,
+                        node,
+                        f"wall-clock '{base.attr}.{node.attr}' — {_ADVICE}",
+                    )
+                    continue
+                if not isinstance(base, ast.Name):
+                    continue
+                if base.id == "time" and node.attr in _TIME_ATTRS:
+                    yield self.violation(
+                        src, node, f"wall-clock 'time.{node.attr}' — {_ADVICE}"
+                    )
+                elif base.id in ("datetime", "date") and node.attr in _DATETIME_ATTRS:
+                    yield self.violation(
+                        src,
+                        node,
+                        f"wall-clock '{base.id}.{node.attr}' — {_ADVICE}",
+                    )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if isinstance(func, ast.Name) and func.id in clock_names:
+                    yield self.violation(
+                        src, node, f"wall-clock call '{func.id}()' — {_ADVICE}"
+                    )

@@ -1,0 +1,72 @@
+"""GT004 — no bare float ``==`` / ``!=`` comparisons in numeric modules.
+
+Gossip estimates, trust scores, and convergence residuals are all
+accumulated floating-point quantities; testing them for exact equality
+against a float literal is almost always a bug (the comparison silently
+never — or worse, flakily — fires).  Thresholded comparisons
+(``residual <= epsilon``), ``np.isclose``, or ``math.isclose`` are the
+sanctioned forms.
+
+Flagged in the numeric packages: any ``==`` or ``!=`` whose left or
+right operand is a float *literal* (``x == 0.5``, ``err != 1e-4``).
+Integer-literal comparisons (``steps == 0``) pass — they are exact by
+construction.  The rare legitimate exact-float sentinel (e.g. "mass is
+exactly the 0.0 it was initialized to") is kept visible with a
+``# noqa: GT004`` and a justification comment.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.linter import Rule, SourceFile, Violation
+
+__all__ = ["NoBareFloatEqRule"]
+
+
+def _float_literal(node: ast.expr) -> "float | None":
+    """The value of a float literal expression (incl. ``-0.5``), else None."""
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        node = node.operand
+    if isinstance(node, ast.Constant) and type(node.value) is float:
+        return node.value
+    return None
+
+
+class NoBareFloatEqRule(Rule):
+    """Numeric modules never ``==``-compare against float literals (GT004)."""
+
+    code = "GT004"
+    summary = "no bare float ==/!= comparisons in numeric modules"
+    include = (
+        "repro/gossip/",
+        "repro/trust/",
+        "repro/core/",
+        "repro/metrics/",
+        "repro/baselines/",
+        "repro/distributions/",
+        "repro/types.py",
+    )
+    exclude = ()
+
+    def check(self, src: SourceFile) -> Iterator[Violation]:
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                lit = _float_literal(left)
+                if lit is None:
+                    lit = _float_literal(right)
+                if lit is not None:
+                    sym = "==" if isinstance(op, ast.Eq) else "!="
+                    yield self.violation(
+                        src,
+                        node,
+                        f"bare float comparison '{sym} {lit!r}' — use a "
+                        "threshold or np.isclose (or # noqa: GT004 with a "
+                        "justification for an exact sentinel)",
+                    )

@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+from repro.analysis.sanitizer import sanitize_enabled
 from repro.errors import ConfigurationError
 
 __all__ = ["GossipTrustConfig"]
@@ -63,6 +64,12 @@ class GossipTrustConfig:
         ``aggregation_error``/``exact_reference`` as ``None``.
     seed:
         Root RNG seed (None = fresh entropy).
+    sanitize:
+        Arm the runtime invariant sanitizer on every engine built from
+        this config (push-sum mass conservation, ``w >= 0``, finiteness
+        — see :mod:`repro.analysis.sanitizer`).  Defaults to the
+        ``REPRO_SANITIZE`` environment flag, so a CI soak run can arm a
+        whole process without touching call sites.
     """
 
     n: int = 1000
@@ -79,6 +86,7 @@ class GossipTrustConfig:
     densify_threshold: float = 0.25
     compute_reference: bool = True
     seed: Optional[int] = None
+    sanitize: bool = field(default_factory=sanitize_enabled)
 
     def __post_init__(self) -> None:
         if self.n < 2:

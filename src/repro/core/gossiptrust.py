@@ -23,7 +23,6 @@ to callers as it happens.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Callable, FrozenSet, List, Optional, Union
 
@@ -37,7 +36,7 @@ from repro.errors import ConvergenceError, ValidationError
 from repro.gossip.base import CycleEngine, GossipCycleResult
 from repro.gossip.convergence import CycleConvergenceDetector, average_relative_error
 from repro.gossip.factory import make_engine
-from repro.metrics.telemetry import CycleRecord, CycleTelemetry
+from repro.metrics.telemetry import CycleRecord, CycleTelemetry, Stopwatch
 from repro.trust.matrix import TrustMatrix
 from repro.trust.pretrust import PretrustVector
 from repro.types import ReputationVector
@@ -127,7 +126,7 @@ class GossipTrust:
         engine: Optional[Union[CycleEngine, str]] = None,
         power_nodes: Optional[FrozenSet[int]] = None,
         rng: SeedLike = None,
-    ):
+    ) -> None:
         if isinstance(trust, TrustMatrix):
             self.S = trust
         elif sparse.issparse(trust):
@@ -208,9 +207,9 @@ class GossipTrust:
         converged = False
         cycles = 0
         for cycles in range(1, cfg.max_cycles + 1):
-            start = time.perf_counter()
+            watch = Stopwatch()
             res = self.engine.run_cycle(self.S, v)
-            wall = time.perf_counter() - start
+            wall = watch.elapsed()
             v_new = res.v_next
             if cfg.alpha > 0:
                 v_new = self._mixing.mix(v_new, cfg.alpha)

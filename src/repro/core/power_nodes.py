@@ -37,7 +37,7 @@ class PowerNodeSelector:
         pretrust vector degrades to uniform.
     """
 
-    def __init__(self, n: int, max_power_nodes: int):
+    def __init__(self, n: int, max_power_nodes: int) -> None:
         if n < 1:
             raise ValidationError(f"n must be >= 1, got {n}")
         if max_power_nodes < 0 or max_power_nodes > n:

@@ -13,6 +13,7 @@ __all__ = [
     "ConfigurationError",
     "ValidationError",
     "ConvergenceError",
+    "InvariantViolation",
     "SimulationError",
     "NetworkError",
     "UnknownNodeError",
@@ -46,6 +47,50 @@ class ConvergenceError(ReproError):
         self.steps = steps
         #: last observed residual (NaN if unknown)
         self.residual = residual
+
+
+class InvariantViolation(ReproError):
+    """A runtime-sanitizer invariant check failed.
+
+    Raised by :class:`repro.analysis.sanitizer.InvariantSanitizer` when
+    an armed engine breaks one of the protocol's conserved quantities —
+    push-sum mass conservation, non-negative consensus mass, finiteness,
+    or trust-matrix row-stochasticity.  Carries structured context so a
+    violation names *where* in the run it happened.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        invariant: str = "",
+        engine: str = "",
+        cycle: "int | None" = None,
+        step: "int | None" = None,
+        node: "int | None" = None,
+    ):
+        where = []
+        if engine:
+            where.append(f"engine {engine!r}")
+        if cycle is not None:
+            where.append(f"cycle {cycle}")
+        if step is not None:
+            where.append(f"step {step}")
+        if node is not None:
+            where.append(f"node {node}")
+        prefix = f"[{invariant}] " if invariant else ""
+        suffix = f" ({', '.join(where)})" if where else ""
+        super().__init__(f"{prefix}{message}{suffix}")
+        #: short name of the violated invariant (e.g. ``"mass-conservation"``)
+        self.invariant = invariant
+        #: engine registry name, when a cycle engine raised
+        self.engine = engine
+        #: 1-based aggregation cycle the sanitizer was in (None if unknown)
+        self.cycle = cycle
+        #: gossip step / round within the cycle (None if unknown)
+        self.step = step
+        #: offending node id, when one can be named
+        self.node = node
 
 
 class SimulationError(ReproError):

@@ -18,7 +18,7 @@ per-send convergence cost matches the synchronous analysis, which the
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional, Sequence, Union
+from typing import Dict, Iterator, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
@@ -72,7 +72,7 @@ class AsyncMessageGossipEngine(CycleEngine):
         check_interval: Optional[float] = None,
         max_time: float = 2000.0,
         rng: SeedLike = None,
-    ):
+    ) -> None:
         check_in_range("epsilon", epsilon, low=0.0, low_inclusive=False)
         check_positive("mean_interval", mean_interval)
         check_positive("max_time", max_time)
@@ -105,7 +105,7 @@ class AsyncMessageGossipEngine(CycleEngine):
             return
         state.merge(msg.payload)
 
-    def _node_process(self, node: int):
+    def _node_process(self, node: int) -> Iterator[float]:
         """One peer's Poisson gossip clock."""
         while self._running:
             yield float(self._rng.exponential(self.mean_interval))
@@ -142,6 +142,9 @@ class AsyncMessageGossipEngine(CycleEngine):
 
         exact = exact_aggregate(rows, v_prior, n)
 
+        san = self.sanitizer
+        if san is not None:
+            san.begin_cycle(self.name)
         prior_map = {i: float(v_prior[i]) for i in range(n)}
         self._states = {}
         initial_mass = 0.0
@@ -153,6 +156,7 @@ class AsyncMessageGossipEngine(CycleEngine):
             self._states[node] = tv
             mx, mw = tv.mass()
             initial_mass += mx + mw
+        initial_live = frozenset(self._states)
 
         sent_before = self.transport.sent
         dropped_before = self.transport.drop_count
@@ -174,6 +178,19 @@ class AsyncMessageGossipEngine(CycleEngine):
                 for node in self.overlay.alive_nodes().tolist()
                 if node in self._states
             )
+            if san is not None:
+                # Async sends leave mass in flight at sample time, so
+                # only the one-sided law holds mid-cycle: node-held
+                # mass never exceeds what the cycle started with.
+                mass_now = 0.0
+                for node in cur_ids:
+                    tv = self._states[node]
+                    tv.check_invariants(san, owner=node, step=checks)
+                    mx, mw = tv.mass()
+                    mass_now += mx + mw
+                san.check_mass_bounded(
+                    "total x+w mass", mass_now, initial_mass, step=checks
+                )
             cur_mat = TripletVector.estimates_matrix(
                 [self._states[node] for node in cur_ids], n, workspace=self._est_ws
             )
@@ -210,6 +227,21 @@ class AsyncMessageGossipEngine(CycleEngine):
                 mx, mw = self._states[node].mass()
                 final_mass += mx + mw
         lost = 0.0 if initial_mass == 0 else max(0.0, 1.0 - final_mass / initial_mass)
+        if san is not None:
+            # Post-drain, nothing is in flight; with a lossless history
+            # conservation must hold exactly, otherwise one-sided.
+            live_set = frozenset(
+                node for node in live.tolist() if node in self._states
+            )
+            if (
+                self.transport.drop_count == dropped_before
+                and live_set == initial_live
+            ):
+                san.check_mass("total x+w mass (drained)", final_mass, initial_mass)
+            else:
+                san.check_mass_bounded(
+                    "total x+w mass (drained)", final_mass, initial_mass
+                )
 
         equivalent_rounds = int(round(self.sends / max(1, live.size)))
         self.cycle_steps.append(equivalent_rounds)

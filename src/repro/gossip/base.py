@@ -26,11 +26,12 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import ClassVar, Dict, List, Mapping, Sequence, Union
+from typing import ClassVar, Dict, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 from scipy import sparse
 
+from repro.analysis.sanitizer import InvariantSanitizer
 from repro.errors import ValidationError
 from repro.trust.matrix import TrustMatrix
 
@@ -106,9 +107,35 @@ class CycleEngine(ABC):
     #: per-cycle step log, appended by every ``run_cycle`` call
     cycle_steps: List[int]
 
+    #: armed runtime invariant checker, or None (the default: no checks)
+    sanitizer: Optional[InvariantSanitizer] = None
+
     @abstractmethod
     def run_cycle(self, S: TrustInput, v: np.ndarray) -> GossipCycleResult:
         """Estimate ``S^T v`` for one aggregation cycle."""
+
+    def arm_sanitizer(
+        self, sanitizer: Optional[InvariantSanitizer] = None
+    ) -> InvariantSanitizer:
+        """Arm runtime invariant checks on this engine.
+
+        Every engine then validates the push-sum conservation laws at
+        its convergence-check cadence (see
+        :mod:`repro.analysis.sanitizer`) and raises
+        :class:`~repro.errors.InvariantViolation` on any breach.  Pass a
+        preconfigured :class:`InvariantSanitizer` to share one checker
+        (and its counters) across engines; by default a fresh one is
+        built.  Returns the armed instance so callers can inspect its
+        ``checks``/``cycle`` counters afterwards.
+        """
+        if sanitizer is None:
+            sanitizer = InvariantSanitizer()
+        self.sanitizer = sanitizer
+        return sanitizer
+
+    def disarm_sanitizer(self) -> None:
+        """Remove the armed sanitizer; the engine stops checking."""
+        self.sanitizer = None
 
     def clear_stats(self) -> None:
         """Reset the per-cycle step log (and any engine counters)."""

@@ -38,8 +38,17 @@ def average_relative_error(new: np.ndarray, old: np.ndarray, *, floor: float = 1
     b = np.asarray(old, dtype=np.float64)
     if a.shape != b.shape:
         raise ValidationError(f"shape mismatch: {a.shape} vs {b.shape}")
-    denom = np.maximum(np.abs(b), floor)
-    return float(np.mean(np.abs(a - b) / denom))
+    if a.size == 0:
+        # No components, no error — and np.mean([]) would warn and
+        # return nan, poisoning every comparison downstream.
+        return 0.0
+    finite = np.isfinite(a) & np.isfinite(b)
+    if not finite.any():
+        # Nothing comparable: report "infinitely far", never nan, so
+        # thresholded callers (residual <= delta) behave monotonically.
+        return float("inf")
+    denom = np.maximum(np.abs(b[finite]), floor)
+    return float(np.mean(np.abs(a[finite] - b[finite]) / denom))
 
 
 class StepConvergenceDetector:
@@ -53,7 +62,7 @@ class StepConvergenceDetector:
     different precision at different network sizes.
     """
 
-    def __init__(self, epsilon: float, *, min_steps: int = 1):
+    def __init__(self, epsilon: float, *, min_steps: int = 1) -> None:
         check_in_range("epsilon", epsilon, low=0.0, low_inclusive=False)
         if min_steps < 0:
             raise ValidationError(f"min_steps must be >= 0, got {min_steps}")
@@ -67,7 +76,9 @@ class StepConvergenceDetector:
         """Feed this step's estimates; returns convergence verdict."""
         est = np.asarray(estimates, dtype=np.float64)
         converged = False
-        if self._prev is not None and est.shape == self._prev.shape:
+        # Empty estimate sets carry no convergence signal (rel.max()
+        # would raise on a zero-size array); count the step and move on.
+        if self._prev is not None and est.shape == self._prev.shape and est.size:
             if np.all(np.isfinite(est)) and np.all(np.isfinite(self._prev)):
                 rel = np.abs(est - self._prev) / np.maximum(np.abs(self._prev), 1e-12)
                 self.last_residual = float(rel.max())
@@ -86,7 +97,7 @@ class StepConvergenceDetector:
 class CycleConvergenceDetector:
     """Per-aggregation-cycle delta criterion on the reputation vector."""
 
-    def __init__(self, delta: float, *, metric: str = "avg_relative"):
+    def __init__(self, delta: float, *, metric: str = "avg_relative") -> None:
         check_in_range("delta", delta, low=0.0, low_inclusive=False)
         if metric not in ("avg_relative", "l1", "linf"):
             raise ValidationError(f"unknown cycle metric {metric!r}")
@@ -106,8 +117,12 @@ class CycleConvergenceDetector:
         """Feed this cycle's vector; returns convergence verdict."""
         v = np.asarray(vector, dtype=np.float64)
         converged = False
-        if self._prev is not None:
+        # Zero-size vectors would crash the linf max (and make the
+        # l1/avg metrics vacuous); treat them as "no signal yet".
+        if self._prev is not None and v.size:
             self.last_residual = self._distance(v, self._prev)
+            # A nan residual (non-finite inputs) must block convergence;
+            # `nan < delta` is False, which is exactly that.
             converged = self.last_residual < self.delta
         self._prev = v.copy()
         self.cycles += 1

@@ -48,6 +48,8 @@ they walk the same mixing-matrix sequence.
 
 from __future__ import annotations
 
+from typing import Optional, Tuple
+
 import numpy as np
 from scipy import sparse
 
@@ -87,7 +89,7 @@ class _TargetStream:
 
     __slots__ = ("_rng", "_n", "_batch", "_ids", "_block", "_row")
 
-    def __init__(self, rng: np.random.Generator, n: int, batch: int):
+    def __init__(self, rng: np.random.Generator, n: int, batch: int) -> None:
         self._rng = rng
         self._n = n
         self._batch = max(1, int(batch))
@@ -132,7 +134,7 @@ class Workspace:
         "num", "den", "blk", "half", "indptr", "ids", "valid",
     )
 
-    def __init__(self, n: int, p: int):
+    def __init__(self, n: int, p: int) -> None:
         self.n = int(n)
         self.p = int(p)
         self.X = np.empty((n, p), dtype=np.float64)
@@ -228,7 +230,7 @@ class SynchronousGossipEngine(CycleEngine):
         kernel: str = "fast",
         reuse_workspace: bool = True,
         rng: SeedLike = None,
-    ):
+    ) -> None:
         if n < 2:
             raise ValidationError(f"gossip needs n >= 2 nodes, got {n}")
         if mode not in ("auto", "full", "probe"):
@@ -278,6 +280,8 @@ class SynchronousGossipEngine(CycleEngine):
         S_csr = coerce_csr(S, self.n)
         v = check_vector("v", v, size=self.n)
         exact = np.asarray(S_csr.T @ v).ravel()
+        if self.sanitizer is not None:
+            self.sanitizer.begin_cycle(self.name)
 
         X0 = (sparse.diags(v) @ S_csr).tocsr()  # X0[i, j] = v_i * s_ij
         if self.mode == "full":
@@ -383,7 +387,7 @@ class SynchronousGossipEngine(CycleEngine):
         top = int(np.argmax(exact))
         col_rng = self._rng.spawn(1)[0]
         rest = col_rng.choice(self.n, size=p, replace=False)
-        cols = [top] + [int(c) for c in rest if int(c) != top][: p - 1]
+        cols = [top, *[int(c) for c in rest if int(c) != top][: p - 1]]
         return np.sort(np.asarray(cols, dtype=np.int64))
 
     @staticmethod
@@ -421,7 +425,7 @@ class SynchronousGossipEngine(CycleEngine):
 
     def _gossip_fast(
         self, Xs: sparse.csr_matrix, Ws: sparse.csr_matrix, *, raise_on_budget: bool
-    ):
+    ) -> Tuple[np.ndarray, np.ndarray, int, bool, Optional[np.ndarray]]:
         """Step loop over preallocated buffers — no per-step allocations.
 
         One dense step is two C-level segment-sums: the half-step
@@ -444,6 +448,11 @@ class SynchronousGossipEngine(CycleEngine):
         ids = ws.ids
         step = 0
         converged = False
+        san = self.sanitizer
+        # Push-sum conservation references: column sums of X and W are
+        # invariant under M = 0.5*(I + A), so the totals are too.
+        x_mass = float(Xs.sum()) if san is not None else 0.0
+        w_mass = float(Ws.sum()) if san is not None else 0.0
 
         # Sparse warm-start: X0 inherits S's sparsity and each step at
         # most doubles nnz, so only ~log2(1/density0) steps run here.
@@ -459,6 +468,12 @@ class SynchronousGossipEngine(CycleEngine):
         X, W, sX, sW = ws.X, ws.W, ws.sX, ws.sW
         Xs.toarray(out=X)
         Ws.toarray(out=W)
+        if san is not None and step:
+            # The sparse warm start mixed without checks; validate its
+            # output before the dense loop takes over.
+            san.check_mass("sum(X)", float(X.sum()), x_mass, step=step)
+            san.check_mass("sum(W)", float(W.sum()), w_mass, step=step)
+            san.check_nonnegative("W", W, step=step)
         half = ws.half
         indptr = ws.indptr
         est = ws.est
@@ -471,6 +486,7 @@ class SynchronousGossipEngine(CycleEngine):
         fine = False  # per-step checks once a residual nears epsilon
         fine_at = _FINE_FACTOR * self.epsilon
 
+        # hot: dense step loop — every buffer comes from the Workspace
         while step < self.max_steps:
             step += 1
             targets = stream.next()
@@ -494,6 +510,13 @@ class SynchronousGossipEngine(CycleEngine):
 
             if step < self.min_steps or (not fine and step % k):
                 continue
+            if san is not None:
+                # Checked step: conservation + non-negativity.  Scalar
+                # reductions only — the cadence keeps this off the
+                # per-step path.
+                san.check_mass("sum(X)", float(X.sum()), x_mass, step=step)
+                san.check_mass("sum(W)", float(W.sum()), w_mass, step=step)
+                san.check_nonnegative("W", W, step=step)
             if not w_allpos:
                 # W only gains mass, so once all-positive it stays so
                 # and this O(n*p) scan stops running.
@@ -501,6 +524,8 @@ class SynchronousGossipEngine(CycleEngine):
                 if not w_allpos:
                     continue
             np.divide(X, W, out=est)
+            if san is not None:
+                san.check_finite("estimates x/w", est, step=step)
             if have_prev:
                 # Relative change across the last check window, scanned
                 # in chunks: far from convergence the first chunk
@@ -541,7 +566,9 @@ class SynchronousGossipEngine(CycleEngine):
 
     # -- legacy kernel -----------------------------------------------------
 
-    def _gossip_until_epsilon(self, X: np.ndarray, W: np.ndarray, *, raise_on_budget: bool):
+    def _gossip_until_epsilon(
+        self, X: np.ndarray, W: np.ndarray, *, raise_on_budget: bool
+    ) -> Tuple[np.ndarray, np.ndarray, int, bool]:
         """Reference step loop (``kernel="legacy"``): allocating arithmetic.
 
         Kept verbatim in spirit — per-step scatter-matrix construction
@@ -557,6 +584,9 @@ class SynchronousGossipEngine(CycleEngine):
         ones = np.ones(n)
         k = self.check_every
         prev = None
+        san = self.sanitizer
+        x_mass = float(X.sum()) if san is not None else 0.0
+        w_mass = float(W.sum()) if san is not None else 0.0
         for step in range(1, self.max_steps + 1):
             targets = self._rng.integers(0, n - 1, size=n)
             targets[targets >= ids] += 1  # uniform over others, never self
@@ -568,6 +598,10 @@ class SynchronousGossipEngine(CycleEngine):
             W = 0.5 * (W + A @ W)
             if step < self.min_steps or step % k:
                 continue
+            if san is not None:
+                san.check_mass("sum(X)", float(X.sum()), x_mass, step=step)
+                san.check_mass("sum(W)", float(W.sum()), w_mass, step=step)
+                san.check_nonnegative("W", W, step=step)
             if not np.all(W > 0):
                 continue
             est = self._estimates(X, W)

@@ -147,7 +147,10 @@ def make_engine(
     streams = rng if isinstance(rng, RngStreams) else RngStreams(
         rng if rng is not None else config.seed
     )
-    return builder(config.n, config, streams, sim, transport, overlay, dict(overrides))
+    engine = builder(config.n, config, streams, sim, transport, overlay, dict(overrides))
+    if getattr(config, "sanitize", False):
+        engine.arm_sanitizer()
+    return engine
 
 
 # -- substrate ---------------------------------------------------------------
@@ -180,7 +183,15 @@ def _substrate(
 # -- builders ----------------------------------------------------------------
 
 
-def _build_sync(n, config, streams, sim, transport, overlay, overrides):
+def _build_sync(
+    n: int,
+    config: "GossipTrustConfig",
+    streams: RngStreams,
+    sim: Optional[Simulator],
+    transport: Optional[Transport],
+    overlay: Optional[Overlay],
+    overrides: Dict[str, Any],
+) -> CycleEngine:
     kwargs = dict(
         epsilon=config.epsilon,
         mode=config.engine_mode,
@@ -194,13 +205,29 @@ def _build_sync(n, config, streams, sim, transport, overlay, overrides):
     return SynchronousGossipEngine(n, **kwargs)
 
 
-def _build_structured(n, config, streams, sim, transport, overlay, overrides):
+def _build_structured(
+    n: int,
+    config: "GossipTrustConfig",
+    streams: RngStreams,
+    sim: Optional[Simulator],
+    transport: Optional[Transport],
+    overlay: Optional[Overlay],
+    overrides: Dict[str, Any],
+) -> CycleEngine:
     return StructuredAggregationEngine(
         n, **constructor_kwargs(StructuredAggregationEngine, overrides)
     )
 
 
-def _build_message(n, config, streams, sim, transport, overlay, overrides):
+def _build_message(
+    n: int,
+    config: "GossipTrustConfig",
+    streams: RngStreams,
+    sim: Optional[Simulator],
+    transport: Optional[Transport],
+    overlay: Optional[Overlay],
+    overrides: Dict[str, Any],
+) -> CycleEngine:
     sim, transport, overlay = _substrate(n, streams, overrides, sim, transport, overlay)
     kwargs = dict(
         epsilon=config.epsilon,
@@ -211,7 +238,15 @@ def _build_message(n, config, streams, sim, transport, overlay, overrides):
     return MessageGossipEngine(sim, transport, overlay, **kwargs)
 
 
-def _build_async(n, config, streams, sim, transport, overlay, overrides):
+def _build_async(
+    n: int,
+    config: "GossipTrustConfig",
+    streams: RngStreams,
+    sim: Optional[Simulator],
+    transport: Optional[Transport],
+    overlay: Optional[Overlay],
+    overrides: Dict[str, Any],
+) -> CycleEngine:
     sim, transport, overlay = _substrate(n, streams, overrides, sim, transport, overlay)
     kwargs = dict(epsilon=config.epsilon, rng=streams.get("gossip"))
     kwargs.update(constructor_kwargs(AsyncMessageGossipEngine, overrides))

@@ -150,7 +150,7 @@ class MessageGossipEngine(CycleEngine):
         min_rounds: int = 2,
         neighbors_only: bool = False,
         rng: SeedLike = None,
-    ):
+    ) -> None:
         check_in_range("epsilon", epsilon, low=0.0, low_inclusive=False)
         if round_interval <= 1.5 * transport.latency:
             raise ValidationError(
@@ -234,6 +234,9 @@ class MessageGossipEngine(CycleEngine):
 
         exact = exact_aggregate(rows, v_prior, n)
         prior_map = {i: float(v_prior[i]) for i in range(n)}
+        san = self.sanitizer
+        if san is not None:
+            san.begin_cycle(self.name)
         self._states = {}
         initial_mass = 0.0
         for node in self.overlay.alive_nodes().tolist():
@@ -247,6 +250,7 @@ class MessageGossipEngine(CycleEngine):
             self._states[node] = tv
             mx, mw = tv.mass()
             initial_mass += mx + mw
+        initial_live = frozenset(self._states)
 
         sent_before = self.transport.sent
         dropped_before = self.transport.drop_count
@@ -263,6 +267,30 @@ class MessageGossipEngine(CycleEngine):
                 for node in self.overlay.alive_nodes().tolist()
                 if node in self._states
             )
+            if san is not None:
+                # Rounds are paced past the max latency, so no mass is
+                # in flight here: the live nodes' triplet stores hold
+                # the whole surviving (x, w) population.
+                mass_now = 0.0
+                for node in cur_ids:
+                    tv = self._states[node]
+                    tv.check_invariants(san, owner=node, step=round_no)
+                    mx, mw = tv.mass()
+                    mass_now += mx + mw
+                if (
+                    self.transport.drop_count == dropped_before
+                    and frozenset(cur_ids) == initial_live
+                ):
+                    # Lossless round history: push-sum conserves exactly.
+                    san.check_mass(
+                        "total x+w mass", mass_now, initial_mass, step=round_no
+                    )
+                else:
+                    # Drops and departures may destroy mass, but gossip
+                    # must never create it.
+                    san.check_mass_bounded(
+                        "total x+w mass", mass_now, initial_mass, step=round_no
+                    )
             # Workspace-backed: the matrix lands in one of two
             # alternating reusable slots, so prev_mat (the other slot)
             # stays intact for the convergence comparison below.

@@ -19,13 +19,16 @@ Two entry points:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import ConvergenceError, ValidationError
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_in_range, check_vector
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.sanitizer import InvariantSanitizer
 
 __all__ = ["PushSumResult", "push_sum", "scripted_push_sum", "push_sum_step"]
 
@@ -106,6 +109,7 @@ def push_sum(
     rng: SeedLike = None,
     record_history: bool = False,
     raise_on_budget: bool = True,
+    sanitizer: "Optional[InvariantSanitizer]" = None,
 ) -> PushSumResult:
     """Run push-sum with uniform random partners until the epsilon criterion.
 
@@ -136,6 +140,11 @@ def push_sum(
         Partner-choice randomness.
     record_history:
         Keep per-step ``(x, w)`` snapshots (tests and the worked example).
+    sanitizer:
+        Optional armed :class:`~repro.analysis.sanitizer.InvariantSanitizer`;
+        when given, mass conservation and ``w >= 0`` are checked after
+        every step and any breach raises
+        :class:`~repro.errors.InvariantViolation`.
 
     Returns
     -------
@@ -155,6 +164,10 @@ def push_sum(
     if stable_steps < 1:
         raise ValidationError(f"stable_steps must be >= 1, got {stable_steps}")
     gen = as_generator(rng)
+    if sanitizer is not None:
+        sanitizer.begin_cycle("push-sum")
+        x_mass = float(x.sum())
+        w_mass = float(w.sum())
 
     history: List[Tuple[np.ndarray, np.ndarray]] = []
     prev = _estimates(x, w)
@@ -164,6 +177,10 @@ def push_sum(
         targets = gen.integers(0, n - 1, size=n)
         targets[targets >= ids] += 1  # uniform over others, never self
         x, w = push_sum_step(x, w, targets)
+        if sanitizer is not None:
+            sanitizer.check_mass("sum(x)", float(x.sum()), x_mass, step=step)
+            sanitizer.check_mass("sum(w)", float(w.sum()), w_mass, step=step)
+            sanitizer.check_nonnegative("w", w, step=step)
         if record_history:
             history.append((x.copy(), w.copy()))
         est = _estimates(x, w)

@@ -47,7 +47,7 @@ class StructuredAggregationEngine(CycleEngine):
 
     name = "structured"
 
-    def __init__(self, n: int, *, ring_bits: int = 32):
+    def __init__(self, n: int, *, ring_bits: int = 32) -> None:
         if n < 2:
             raise ValidationError(f"aggregation needs n >= 2 nodes, got {n}")
         self.n = int(n)
@@ -80,6 +80,9 @@ class StructuredAggregationEngine(CycleEngine):
         mat = coerce_csr(S, self.n)
         v = check_vector("v", v, size=self.n)
         exact = np.asarray(mat.T @ v).ravel()
+        san = self.sanitizer
+        if san is not None:
+            san.begin_cycle(self.name)
 
         # Node i's initial partial vector is its weighted row v_i * s_i.
         # X[p] is the partial vector of the node at ring position p.
@@ -109,6 +112,15 @@ class StructuredAggregationEngine(CycleEngine):
                 seg = prefix[hi - 1] - (prefix[lo - 1] if lo > 0 else 0)
                 X[p] -= seg
         self.cycle_steps.append(rounds)
+        if san is not None:
+            # The all-reduce is exact by construction: every ring
+            # position's partial must match S^T v (modulo float
+            # reassociation), and the window-overlap correction must
+            # not have produced NaN/inf.
+            san.check_finite("all-reduce partials", X, step=rounds)
+            san.check_allclose(
+                "per-node all-reduce result", X, exact[None, :], step=rounds
+            )
 
         estimates = X  # every row should now equal the exact sum
         disagreement = float(np.max(np.abs(estimates - exact[None, :])))

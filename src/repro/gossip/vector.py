@@ -19,12 +19,15 @@ array capacity.
 
 from __future__ import annotations
 
-from typing import Iterator, Mapping, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Iterator, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import ValidationError
 from repro.types import Triplet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.sanitizer import InvariantSanitizer
 
 __all__ = ["TripletVector", "EstimatesWorkspace"]
 
@@ -184,6 +187,7 @@ class TripletVector:
         self._w *= 0.5
         return self.copy()
 
+    # hot: merge runs once per delivered message — in-place adds only
     def merge(self, other: "TripletVector") -> None:
         """Component-wise sum of an arriving half-share (line 15)."""
         m = other._x.shape[0]
@@ -255,6 +259,7 @@ class TripletVector:
             X, W, out = workspace.arrays(m, n)
         X[:] = 0.0
         W[:] = 0.0
+        # hot: population fill loop — writes into the served views only
         for i, tv in enumerate(vectors):
             k = min(n, tv._x.shape[0])
             X[i, :k] = tv._x[:k]
@@ -268,6 +273,24 @@ class TripletVector:
     def mass(self) -> Tuple[float, float]:
         """Total ``(sum x, sum w)`` held at this node (conservation checks)."""
         return (float(self._x.sum()), float(self._w.sum()))
+
+    def check_invariants(
+        self,
+        sanitizer: "InvariantSanitizer",
+        *,
+        owner: Optional[int] = None,
+        step: Optional[int] = None,
+    ) -> None:
+        """Run the per-node sanitizer checks: finite mass, ``w >= 0``.
+
+        Called by the message-level engines at their convergence-check
+        cadence when a sanitizer is armed; raises
+        :class:`~repro.errors.InvariantViolation` on breach.
+        """
+        who = f"node {owner}" if owner is not None else "node"
+        sanitizer.check_finite(f"{who} x-mass", self._x, step=step)
+        sanitizer.check_finite(f"{who} w-mass", self._w, step=step)
+        sanitizer.check_nonnegative(f"{who} w-mass", self._w, step=step)
 
     def payload_size(self) -> int:
         """Triplet count — proxy for message size in overhead accounting.

@@ -28,7 +28,39 @@ from repro.utils.proc import peak_rss_kib as _peak_rss_kib
 if TYPE_CHECKING:
     from repro.gossip.base import GossipCycleResult
 
-__all__ = ["CycleRecord", "CycleTelemetry"]
+__all__ = ["Stopwatch", "CycleRecord", "CycleTelemetry"]
+
+
+class Stopwatch:
+    """Monotonic wall-clock interval timer for the measurement layer.
+
+    The single sanctioned wall-clock reader outside :mod:`repro.utils.proc`
+    (enforced by lint rule GT003): deterministic code that needs a wall
+    time measured *around* it takes a ``Stopwatch`` instead of touching
+    :mod:`time` itself.
+
+    >>> watch = Stopwatch()           # starts immediately
+    >>> elapsed = watch.elapsed()     # seconds since start
+    >>> lap = watch.restart()         # seconds since start, then reset
+    """
+
+    __slots__ = ("_start",)
+
+    def __init__(self) -> None:
+        self._start = time.perf_counter()
+
+    def elapsed(self) -> float:
+        """Seconds since construction or the last :meth:`restart`."""
+        return time.perf_counter() - self._start
+
+    def restart(self) -> float:
+        """Return the elapsed seconds and start a new interval."""
+        now = time.perf_counter()
+        lap, self._start = now - self._start, now
+        return lap
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Stopwatch(elapsed={self.elapsed():.6f}s)"
 
 
 @dataclass(frozen=True)

@@ -42,7 +42,7 @@ class FeedbackLedger:
     the power-law feedback distribution keeps near ``n * d_avg``.
     """
 
-    def __init__(self, n: int, *, keep_history: bool = False):
+    def __init__(self, n: int, *, keep_history: bool = False) -> None:
         if n < 1:
             raise ValidationError(f"n must be >= 1, got {n}")
         self.n = int(n)
@@ -91,7 +91,9 @@ class FeedbackLedger:
         if score < 0:
             raise ValidationError(f"raw local scores are non-negative, got {score}")
         row = self._scores.setdefault(rater, {})
-        if score == 0.0:
+        # Exact sentinel: 0.0 is the caller's literal "erase this
+        # score" value, not an accumulated quantity.
+        if score == 0.0:  # noqa: GT004
             row.pop(ratee, None)
         else:
             row[ratee] = float(score)
@@ -101,7 +103,9 @@ class FeedbackLedger:
         self._check(rater, ratee)
         row = self._scores.setdefault(rater, {})
         new = max(0.0, row.get(ratee, 0.0) + delta)
-        if new == 0.0:
+        # Exact sentinel: max(0.0, ...) pins fully-decayed scores to
+        # exactly 0.0, so the equality is reliable.
+        if new == 0.0:  # noqa: GT004
             row.pop(ratee, None)
         else:
             row[ratee] = new

@@ -18,6 +18,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 import numpy as np
 from scipy import sparse
 
+from repro.analysis.sanitizer import InvariantSanitizer, sanitize_enabled
 from repro.errors import ValidationError
 from repro.trust.feedback import FeedbackLedger
 from repro.utils.validation import check_square_matrix, check_vector
@@ -61,7 +62,7 @@ class TrustMatrix:
     and for tests.
     """
 
-    def __init__(self, matrix: sparse.csr_matrix, *, _validated: bool = False):
+    def __init__(self, matrix: sparse.csr_matrix, *, _validated: bool = False) -> None:
         if not sparse.isspmatrix_csr(matrix):
             matrix = sparse.csr_matrix(matrix)
         if matrix.shape[0] != matrix.shape[1]:
@@ -76,6 +77,15 @@ class TrustMatrix:
                 raise ValidationError(
                     f"trust matrix rows must sum to 1; row {bad} sums to {rows[bad]}"
                 )
+        elif sanitize_enabled():
+            # Sanitizer soak runs re-check even the pre-validated
+            # constructor path: a normalizer bug that hands over a
+            # non-stochastic S with _validated=True surfaces here as a
+            # structured InvariantViolation (Eq. 1 row-stochasticity).
+            rows = np.asarray(matrix.sum(axis=1)).ravel()
+            InvariantSanitizer().check_row_stochastic(
+                rows, where="pre-validated trust matrix"
+            )
         self._S = matrix
         self._ST = matrix.T.tocsr()  # cached transpose for the iteration
         #: lazily-built per-row sparse dict view (see sparse_rows)

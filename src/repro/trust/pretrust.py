@@ -35,7 +35,7 @@ class PretrustVector:
         like PageRank's teleport rather than silently disabling alpha.
     """
 
-    def __init__(self, n: int, members: Iterable[int] = ()):
+    def __init__(self, n: int, members: Iterable[int] = ()) -> None:
         if n < 1:
             raise ValidationError(f"n must be >= 1, got {n}")
         self.n = int(n)
@@ -83,7 +83,9 @@ class PretrustVector:
             raise ValidationError(
                 f"aggregated vector must have shape ({self.n},), got {agg.shape}"
             )
-        if alpha == 0.0:
+        # Exact sentinel: alpha=0.0 means "mixing disabled", set
+        # literally by callers, never computed.
+        if alpha == 0.0:  # noqa: GT004
             return agg.copy()
         return (1.0 - alpha) * agg + alpha * self._vector
 

@@ -133,7 +133,7 @@ class QofWeightedAggregation:
         rounds: int = 3,
         sharpness: float = 2.0,
         min_weight: float = 0.05,
-    ):
+    ) -> None:
         if rounds < 1:
             raise ValidationError(f"rounds must be >= 1, got {rounds}")
         check_in_range("min_weight", min_weight, low=0.0, high=1.0)

@@ -67,7 +67,9 @@ class GossipPair:
     @property
     def estimate(self) -> float:
         """Current gossiped score ``beta = x / w`` (``inf``/``nan`` if w == 0)."""
-        if self.w == 0.0:
+        # Exact sentinel: w is only ever 0.0 when no mass has arrived,
+        # never a rounded-down tiny value.
+        if self.w == 0.0:  # noqa: GT004
             return float("inf") if self.x > 0 else float("nan")
         return self.x / self.w
 
@@ -83,7 +85,8 @@ class Triplet:
     @property
     def estimate(self) -> float:
         """Gossiped global score of ``node``."""
-        if self.w == 0.0:
+        # Exact sentinel: see GossipPair.estimate.
+        if self.w == 0.0:  # noqa: GT004
             return float("inf") if self.x > 0 else float("nan")
         return self.x / self.w
 

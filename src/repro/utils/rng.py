@@ -68,7 +68,7 @@ class RngStreams:
     Streams for distinct names are statistically independent.
     """
 
-    def __init__(self, seed: SeedLike = None):
+    def __init__(self, seed: SeedLike = None) -> None:
         if isinstance(seed, np.random.Generator):
             entropy = seed.integers(0, 2**63 - 1, size=4).tolist()
             self._root = np.random.SeedSequence(entropy)

@@ -109,3 +109,73 @@ class TestCycleDetector:
         assert det.cycles == 2
         det.reset()
         assert det.cycles == 0
+
+
+class TestDegenerateInputs:
+    """Empty and all-NaN estimate columns must never crash or converge."""
+
+    def test_average_relative_error_empty_is_zero(self):
+        assert average_relative_error(np.array([]), np.array([])) == 0.0
+
+    def test_average_relative_error_all_nan_is_inf(self):
+        nan2 = np.array([np.nan, np.nan])
+        assert average_relative_error(nan2, nan2) == float("inf")
+        assert average_relative_error(nan2, np.ones(2)) == float("inf")
+
+    def test_average_relative_error_partial_nan_uses_finite_entries(self):
+        new = np.array([1.1, np.nan, 2.0])
+        old = np.array([1.0, 5.0, np.nan])
+        # Only index 0 is finite in both; error is |1.1 - 1.0| / 1.0.
+        assert average_relative_error(new, old) == pytest.approx(0.1)
+
+    def test_average_relative_error_inf_entries_masked(self):
+        new = np.array([np.inf, 1.0])
+        old = np.array([1.0, 1.0])
+        assert average_relative_error(new, old) == 0.0
+
+    def test_step_detector_empty_estimates_never_converge(self):
+        det = StepConvergenceDetector(1e-3)
+        empty = np.array([])
+        for _ in range(5):
+            assert det.update(empty) is False
+        assert det.steps == 5
+        assert det.last_residual == float("inf")
+
+    def test_step_detector_shape_change_resets_comparison(self):
+        det = StepConvergenceDetector(1e-3)
+        assert det.update(np.ones(3)) is False
+        # A population change (node join/leave) makes the previous
+        # snapshot incomparable; no verdict, no crash.
+        assert det.update(np.ones(4)) is False
+        assert det.update(np.ones(4)) is True
+
+    def test_step_detector_all_nan_blocks_convergence(self):
+        det = StepConvergenceDetector(1e-3)
+        nan3 = np.full(3, np.nan)
+        for _ in range(4):
+            assert det.update(nan3) is False
+
+    def test_cycle_detector_empty_vector_never_converges(self):
+        det = CycleConvergenceDetector(1e-2)
+        empty = np.array([])
+        for _ in range(4):
+            assert det.update(empty) is False
+        assert det.cycles == 4
+
+    def test_cycle_detector_empty_vector_linf_metric(self):
+        det = CycleConvergenceDetector(1e-2, metric="linf")
+        empty = np.array([])
+        assert det.update(empty) is False
+        assert det.update(empty) is False  # diff.max() would raise unguarded
+
+    def test_cycle_detector_all_nan_blocks_convergence(self):
+        det = CycleConvergenceDetector(1e-2)
+        nan4 = np.full(4, np.nan)
+        assert det.update(nan4) is False
+        assert det.update(nan4) is False
+        assert det.last_residual == float("inf")
+
+    def test_cycle_detector_nan_residual_blocks_l1(self):
+        det = CycleConvergenceDetector(1e-2, metric="l1")
+        assert det.update(np.full(2, np.nan)) is False
+        assert det.update(np.full(2, np.nan)) is False  # nan < delta is False

@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Run the project GT lint rules over source trees.
+
+Usage::
+
+    python tools/analyze.py src tests               # lint these trees
+    python tools/analyze.py --list-rules            # show the catalog
+    python tools/analyze.py --select GT001,GT003 src
+    python tools/analyze.py --format=github src     # CI annotations
+
+Exit status: 0 when clean, 1 when violations were found, 2 on usage
+errors.  See DESIGN.md ("Static analysis & sanitizers") for the rule
+catalog and how to add a rule.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Sequence
+
+# Runnable straight from a checkout: put <repo>/src on the path so the
+# repro.analysis framework imports without an installed package.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.analysis.linter import Rule, lint_paths  # noqa: E402
+from repro.analysis.rules import ALL_RULES  # noqa: E402
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="analyze",
+        description="project AST lint: GT invariant rules",
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories to lint")
+    parser.add_argument(
+        "--format",
+        choices=("text", "github"),
+        default="text",
+        help="output style: terminal text or GitHub Actions annotations",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog and exit"
+    )
+    return parser
+
+
+def select_rules(spec: "str | None") -> List[Rule]:
+    """The rule subset named by ``spec`` (comma-separated codes)."""
+    if spec is None:
+        return list(ALL_RULES)
+    wanted = {tok.strip().upper() for tok in spec.split(",") if tok.strip()}
+    known = {rule.code for rule in ALL_RULES}
+    unknown = wanted - known
+    if unknown:
+        raise SystemExit(
+            f"analyze: unknown rule code(s) {', '.join(sorted(unknown))}; "
+            f"known: {', '.join(sorted(known))}"
+        )
+    return [rule for rule in ALL_RULES if rule.code in wanted]
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in ALL_RULES:
+            scope = ", ".join(rule.include) if rule.include else "(all files)"
+            print(f"{rule.code}  {rule.summary}")
+            print(f"       scope: {scope}")
+        return 0
+    if not args.paths:
+        print("analyze: no paths given (try: python tools/analyze.py src tests)",
+              file=sys.stderr)
+        return 2
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        print(f"analyze: no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+    try:
+        rules = select_rules(args.select)
+    except SystemExit as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    violations = lint_paths(args.paths, rules)
+    for v in violations:
+        print(v.format(args.format))
+    if violations:
+        print(
+            f"analyze: {len(violations)} violation(s) across "
+            f"{len({v.path for v in violations})} file(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"analyze: clean ({', '.join(r.code for r in rules)})", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -216,7 +216,7 @@ def run(quick: bool) -> dict:
         for engine, overrides in cells:
             cell = bench_cell(engine, n, repeats, **overrides)
             label = "+".join(
-                [engine] + [f"{k}={v}" for k, v in sorted(overrides.items())]
+                [engine, *(f"{k}={v}" for k, v in sorted(overrides.items()))]
             )
             print(
                 f"{label:55s} n={n:5d}  {cell['wall_time_s']:8.3f}s  "
