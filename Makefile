@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint analyze typecheck ci bench bench-smoke sweep examples experiments docs clean
+.PHONY: install test lint analyze typecheck ci bench bench-smoke service-smoke sweep examples experiments docs clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -44,6 +44,15 @@ bench:
 # that one with `PYTHONPATH=src python tools/bench_runner.py` — stays intact.
 bench-smoke:
 	PYTHONPATH=src $(PYTHON) tools/bench_runner.py --quick --output BENCH_engines.quick.json
+
+# Long-lived service soak: ingest -> incremental aggregation -> Bloom
+# serving, with the runtime invariant sanitizer armed so every
+# row-stochasticity and mass check fires during the soak (see
+# src/repro/service/ and the service-smoke CI job).
+service-smoke:
+	REPRO_SANITIZE=1 PYTHONPATH=src $(PYTHON) -m repro.cli serve-sim \
+		--n 200 --epochs 3 --events 40 --queries 300 --seed 0
+	REPRO_SANITIZE=1 PYTHONPATH=src $(PYTHON) -m pytest tests/test_service.py -q
 
 # Demo of the parallel sweep runner: a quick experiment fanned over 2
 # worker processes (results are identical to --workers 1, only faster

@@ -6,6 +6,7 @@ Usage::
     gossiptrust run fig3 [--quick] [--engine sync]
     gossiptrust run table3 --set n=500 --set repeats=2
     gossiptrust all --quick
+    gossiptrust serve-sim --n 1000 --epochs 5
 
 ``--set key=value`` forwards typed overrides to the experiment runner
 (ints, floats, and comma-separated tuples are auto-parsed).
@@ -98,7 +99,68 @@ def build_parser() -> argparse.ArgumentParser:
 
     all_p = sub.add_parser("all", help="run every experiment in sequence")
     all_p.add_argument("--quick", action="store_true", help="smoke-test scale")
+
+    serve_p = sub.add_parser(
+        "serve-sim",
+        help="simulate the long-lived reputation service "
+        "(streaming ingest, warm re-aggregation, Bloom serving)",
+    )
+    serve_p.add_argument("--n", type=int, default=200, help="network size")
+    serve_p.add_argument(
+        "--epochs", type=int, default=5, help="measured ingest/query/aggregate epochs"
+    )
+    serve_p.add_argument(
+        "--events", type=int, default=50, help="feedback events streamed per epoch"
+    )
+    serve_p.add_argument(
+        "--queries", type=int, default=500, help="score lookups served per epoch"
+    )
+    serve_p.add_argument(
+        "--dirty-fraction",
+        type=float,
+        default=0.01,
+        help="fraction of rater rows the event stream touches per epoch",
+    )
+    serve_p.add_argument("--seed", type=int, default=0, help="root seed")
     return parser
+
+
+def _render_serve_sim(report) -> str:
+    """Text report of one service simulation."""
+    from repro.metrics.reporting import TextTable
+
+    epochs = TextTable(
+        ["epoch", "dirty", "events", "cycles", "steps", "churn", "wall_s"],
+        title=f"service epochs (n={report.config.n}, "
+        f"warmup={report.warmup_epochs}, "
+        f"power nodes {'stable' if report.power_nodes_stable else 'UNSTABLE'})",
+    )
+    for ep in report.epoch_reports:
+        epochs.add_row(
+            [
+                ep.epoch,
+                ep.dirty_rows,
+                ep.events_absorbed,
+                ep.cycles,
+                ep.gossip_steps,
+                ep.power_node_churn,
+                ep.wall_time_s,
+            ]
+        )
+    summary = TextTable(["metric", "value"], title="service summary")
+    summary.add_row(["ingest events/s", report.ingest_events_per_s])
+    summary.add_row(["queries/s", report.queries_per_s])
+    summary.add_row(["mean staleness (events)", report.mean_staleness_events])
+    summary.add_row(["max staleness (events)", report.max_staleness_events])
+    summary.add_row(["warm epoch cycles (mean)", report.warm_cycles])
+    summary.add_row(["cold scratch cycles", report.cold_cycles])
+    summary.add_row(["warm wall s (mean)", report.warm_wall_s])
+    summary.add_row(["cold wall s", report.cold_wall_s])
+    summary.add_row(["wall speedup (x)", report.wall_speedup])
+    summary.add_row(["step speedup (x)", report.step_speedup])
+    summary.add_row(["warm vs cold vector error", report.vector_error])
+    summary.add_row(["store compression (x)", report.store_compression])
+    return epochs.render() + "\n\n" + summary.render()
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -123,6 +185,21 @@ def main(argv: Optional[List[str]] = None) -> int:
             result = run_experiment(eid, quick=args.quick)
             print(result.render())
             print()
+        return 0
+    if args.command == "serve-sim":
+        from repro.service import ServeSimConfig, simulate_service
+
+        report = simulate_service(
+            ServeSimConfig(
+                n=args.n,
+                epochs=args.epochs,
+                events_per_epoch=args.events,
+                queries_per_epoch=args.queries,
+                dirty_fraction=args.dirty_fraction,
+                seed=args.seed,
+            )
+        )
+        print(_render_serve_sim(report))
         return 0
     return 2  # pragma: no cover - argparse enforces the choices
 

@@ -57,6 +57,13 @@ class GossipTrustResult:
     ``aggregation_error``/``exact_reference`` report the gossip noise
     against it; production runs that skip the oracle leave them
     ``None``.
+
+    Results are *versioned*: ``epoch`` is the caller-supplied service
+    epoch the run belongs to (0 for standalone runs) and
+    ``warm_started`` records whether the run iterated from a previous
+    reputation vector instead of uniform — together they are the
+    staleness stamp a serving layer attaches to every score it hands
+    out.
     """
 
     vector: np.ndarray
@@ -76,6 +83,10 @@ class GossipTrustResult:
     exact_reference: Optional[ExactAggregation] = None
     #: per-cycle telemetry recorded during the run
     telemetry: Optional[CycleTelemetry] = None
+    #: service epoch this run computed (0 for standalone runs)
+    epoch: int = 0
+    #: whether the run warm-started from a previous reputation vector
+    warm_started: bool = False
 
     @property
     def steps_per_cycle(self) -> List[int]:
@@ -163,6 +174,8 @@ class GossipTrust:
     def run(
         self,
         *,
+        v0: Optional[np.ndarray] = None,
+        epoch: int = 0,
         raise_on_budget: bool = True,
         compute_reference: Optional[bool] = None,
         on_cycle: Optional[Callable[[CycleRecord], None]] = None,
@@ -178,6 +191,18 @@ class GossipTrust:
 
         Parameters
         ----------
+        v0:
+            Warm-start reputation vector (normalized internally).  The
+            paper initializes every round at uniform ``1/n``; a
+            long-lived service instead seeds the round with the previous
+            epoch's converged vector, so a near-converged network (few
+            trust rows changed) re-converges in far fewer cycles —
+            iterating ``V(t+1) = S^T V(t)`` from a point already near
+            the stationary distribution.  ``None`` keeps the paper's
+            uniform cold start.
+        epoch:
+            Version stamp copied into the result (see
+            :class:`GossipTrustResult`); purely bookkeeping.
         raise_on_budget:
             Raise :class:`ConvergenceError` if ``max_cycles`` is
             exhausted.
@@ -201,7 +226,21 @@ class GossipTrust:
         n = cfg.n
         detector = CycleConvergenceDetector(cfg.delta)
         recorder = telemetry if telemetry is not None else CycleTelemetry()
-        v = np.full(n, 1.0 / n)
+        warm_started = v0 is not None
+        if v0 is None:
+            v = np.full(n, 1.0 / n)
+        else:
+            v = np.asarray(v0, dtype=np.float64).copy()
+            if v.ndim != 1 or v.size != n:
+                raise ValidationError(
+                    f"v0 must be a length-{n} vector, got shape {v.shape}"
+                )
+            if np.any(v < 0) or not np.all(np.isfinite(v)):
+                raise ValidationError("v0 must be finite and non-negative")
+            total0 = v.sum()
+            if not total0 > 0:
+                raise ValidationError("v0 must carry positive reputation mass")
+            v /= total0
         detector.update(v)
         cycle_results: List[GossipCycleResult] = []
         converged = False
@@ -274,4 +313,6 @@ class GossipTrust:
             aggregation_error=aggregation_error,
             exact_reference=exact,
             telemetry=recorder,
+            epoch=int(epoch),
+            warm_started=warm_started,
         )

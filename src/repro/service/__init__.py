@@ -1,0 +1,32 @@
+"""Long-lived reputation service: incremental re-aggregation.
+
+:class:`ReputationService` keeps global reputation *maintained* instead
+of recomputed — streaming feedback ingest, dirty-row trust-matrix
+patching, warm-started aggregation epochs, and double-buffered Bloom
+serving.  :func:`simulate_service` drives the closed loop over a
+synthetic network for the ``serve-sim`` CLI subcommand and benchmarks.
+"""
+
+from repro.service.reputation import (
+    ReputationService,
+    ServedScore,
+    ServiceEpochReport,
+    ServiceStats,
+)
+from repro.service.simulate import (
+    ServeSimConfig,
+    ServeSimReport,
+    populate_ledger,
+    simulate_service,
+)
+
+__all__ = [
+    "ReputationService",
+    "ServedScore",
+    "ServiceEpochReport",
+    "ServiceStats",
+    "ServeSimConfig",
+    "ServeSimReport",
+    "populate_ledger",
+    "simulate_service",
+]

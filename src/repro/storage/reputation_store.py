@@ -44,9 +44,14 @@ class StorageReport:
 
     @property
     def compression_ratio(self) -> float:
-        """raw_bytes / bloom_bytes (> 1 means the store saves memory)."""
+        """raw_bytes / bloom_bytes (> 1 means the store saves memory).
+
+        An empty report (un-built store) has ``bloom_bytes == 0`` and
+        ``raw_bytes == 0``: the ratio is defined as 1.0 there — no
+        memory saved, none wasted — rather than dividing by zero.
+        """
         if self.bloom_bytes == 0:
-            return float("inf")
+            return 1.0 if self.raw_bytes == 0 else float("inf")
         return self.raw_bytes / self.bloom_bytes
 
 
@@ -86,7 +91,16 @@ class BloomReputationStore:
     # -- building ----------------------------------------------------------
 
     def build(self, scores: np.ndarray) -> None:
-        """(Re)build the store from a full reputation vector."""
+        """(Re)build the store from a full reputation vector.
+
+        Safely re-entrant for per-epoch rebuilds: the new edges,
+        filters, and score table are fully constructed *before* any
+        instance state is touched, then installed in one final swap.  A
+        validation error (or any mid-build failure) leaves the previous
+        snapshot intact and servable, so a long-lived serving layer can
+        call ``build`` every epoch without a window where lookups see a
+        half-replaced store.
+        """
         v = np.asarray(scores, dtype=np.float64)
         if v.ndim != 1 or v.size == 0:
             raise ValidationError("scores must be a non-empty 1-D vector")
@@ -96,23 +110,29 @@ class BloomReputationStore:
         if top <= self.min_score:
             top = self.min_score * 10.0
         # Geometric edges from min_score to top, brackets+1 edges.
-        self._edges = np.geomspace(self.min_score, top, self.brackets + 1)
-        per_bracket = np.zeros(self.brackets, dtype=np.int64)
-        assignment = self._bracket_of(v)
-        for b in assignment:
-            per_bracket[b] += 1
-        self._filters = [
+        edges = np.geomspace(self.min_score, top, self.brackets + 1)
+        assignment = self._bracket_of(v, edges=edges)
+        per_bracket = np.bincount(assignment, minlength=self.brackets)
+        filters = [
             BloomFilter(max(8, int(per_bracket[b]) * 2), self.error_rate)
             for b in range(self.brackets)
         ]
-        self._stored = {}
+        stored: Dict[int, float] = {}
         for node, (score, b) in enumerate(zip(v, assignment)):
-            self._filters[b].add(node)
-            self._stored[node] = float(score)
+            filters[b].add(node)
+            stored[node] = float(score)
+        # Atomic install: all three references swap after full construction.
+        self._edges = edges
+        self._filters = filters
+        self._stored = stored
 
-    def _bracket_of(self, scores: np.ndarray) -> np.ndarray:
-        assert self._edges is not None
-        idx = np.searchsorted(self._edges, scores, side="right") - 1
+    def _bracket_of(
+        self, scores: np.ndarray, *, edges: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        if edges is None:
+            edges = self._edges
+        assert edges is not None
+        idx = np.searchsorted(edges, scores, side="right") - 1
         return np.clip(idx, 0, self.brackets - 1)
 
     # -- lookup ------------------------------------------------------------
@@ -148,10 +168,26 @@ class BloomReputationStore:
 
     # -- accounting ----------------------------------------------------------
 
+    @property
+    def built(self) -> bool:
+        """Whether the store holds a servable snapshot."""
+        return self._edges is not None and bool(self._stored)
+
     def report(self) -> StorageReport:
-        """Memory/accuracy report against the exact stored scores."""
-        if self._edges is None or not self._stored:
-            raise ValidationError("store is empty; call build() first")
+        """Memory/accuracy report against the exact stored scores.
+
+        An empty or un-built store reports all-zero accounting (and a
+        neutral ``compression_ratio`` of 1.0) instead of raising — a
+        per-epoch metrics scrape may race the first ``build``.
+        """
+        if not self.built:
+            return StorageReport(
+                bloom_bytes=0,
+                raw_bytes=0,
+                mean_relative_error=0.0,
+                max_relative_error=0.0,
+                misbracket_rate=0.0,
+            )
         bloom_bytes = sum(f.size_bytes for f in self._filters)
         raw_bytes = len(self._stored) * (8 + 8)  # id + float64
         rels = []

@@ -10,12 +10,21 @@ transaction is rated +1 (satisfactory) or -1 (unsatisfactory); the local
 score is ``r_ij = max(sat_ij - unsat_ij, 0)``.  Raw real-valued scores
 can also be recorded directly (the paper's threat models assign
 fractional dishonest scores).
+
+Dirty-row tracking
+------------------
+Every mutation marks its rater row *dirty*.  A long-lived consumer (the
+:class:`~repro.service.ReputationService`) drains the dirty set between
+aggregation epochs via :meth:`FeedbackLedger.drain_dirty`, receiving
+row-level deltas — the current clamped score row of each mutated rater —
+and feeds them to :meth:`~repro.trust.matrix.TrustMatrix.apply_row_deltas`
+so the normalized matrix is patched instead of rebuilt.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
 
 from repro.errors import ValidationError
 from repro.types import TransactionOutcome
@@ -49,6 +58,8 @@ class FeedbackLedger:
         self._scores: Dict[int, Dict[int, float]] = {}
         self._history: Optional[List[TransactionRecord]] = [] if keep_history else None
         self.transactions = 0
+        #: rater rows mutated since the last drain (see drain_dirty)
+        self._dirty: Set[int] = set()
 
     def _check(self, rater: int, ratee: int) -> None:
         if not 0 <= rater < self.n:
@@ -79,6 +90,7 @@ class FeedbackLedger:
         # *score* at read time, but the balance itself is history-long:
         # sat - unsat over all transactions, not a running clamp.
         row[ratee] = row.get(ratee, 0.0) + delta
+        self._dirty.add(rater)
         self.transactions += 1
         if self._history is not None:
             self._history.append(
@@ -97,6 +109,7 @@ class FeedbackLedger:
             row.pop(ratee, None)
         else:
             row[ratee] = float(score)
+        self._dirty.add(rater)
 
     def add_score(self, rater: int, ratee: int, delta: float) -> None:
         """Add ``delta`` to the raw local score, clamping at zero."""
@@ -109,6 +122,7 @@ class FeedbackLedger:
             row.pop(ratee, None)
         else:
             row[ratee] = new
+        self._dirty.add(rater)
 
     def score(self, rater: int, ratee: int) -> float:
         """Local score ``r_ij = max(balance, 0)`` (EigenTrust clamping)."""
@@ -131,6 +145,36 @@ class FeedbackLedger:
             for ratee, score in row.items():
                 if score > 0:
                     yield (rater, ratee, score)
+
+    # -- dirty-row delta tracking ------------------------------------------
+
+    def dirty_rows(self) -> FrozenSet[int]:
+        """Rater rows mutated since the last :meth:`drain_dirty` call."""
+        return frozenset(self._dirty)
+
+    def clear_dirty(self) -> None:
+        """Forget all dirty marks without emitting deltas.
+
+        A consumer that rebuilds its matrix from the *whole* ledger
+        (e.g. the first service epoch via
+        :meth:`~repro.trust.matrix.TrustMatrix.from_ledger`) calls this
+        so already-absorbed mutations are not re-applied as deltas.
+        """
+        self._dirty.clear()
+
+    def drain_dirty(self) -> Dict[int, Dict[int, float]]:
+        """Emit row-level deltas for every dirty rater and reset the set.
+
+        Returns ``{rater: {ratee: r_ij > 0}}`` — the *current* clamped
+        score row of each rater mutated since the last drain (a row that
+        decayed to all-zeros maps to an empty dict, signalling "now
+        dangling").  The format feeds
+        :meth:`~repro.trust.matrix.TrustMatrix.apply_row_deltas`
+        directly.
+        """
+        deltas = {rater: self.row(rater) for rater in sorted(self._dirty)}
+        self._dirty.clear()
+        return deltas
 
     def history(self) -> Tuple[TransactionRecord, ...]:
         """Recorded transactions (empty unless ``keep_history=True``)."""

@@ -13,7 +13,7 @@ default, or the pre-trust/power-node distribution when one is supplied.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 import numpy as np
 from scipy import sparse
@@ -212,9 +212,116 @@ class TrustMatrix:
         return self._rows
 
     def invalidate_cache(self) -> None:
-        """Drop derived caches (row view, transpose) after a mutation."""
+        """Drop derived caches (row view, transpose) after a mutation.
+
+        The all-or-nothing escape hatch for callers that mutated the
+        underlying CSR directly.  Sanctioned in-place updates should go
+        through :meth:`apply_row_deltas`, which patches the caches at
+        row granularity instead of discarding them.
+        """
         self._rows = None
         self._ST = self._S.T.tocsr()
+
+    # -- incremental updates -------------------------------------------------
+
+    def apply_row_deltas(
+        self,
+        raw_rows: Mapping[int, Mapping[int, float]],
+        *,
+        fallback: Optional[np.ndarray] = None,
+    ) -> None:
+        """Replace the given rows of ``S`` with re-normalized raw scores.
+
+        ``raw_rows`` maps ``rater -> {ratee: r_ij > 0}`` — the row-level
+        delta format emitted by
+        :meth:`~repro.trust.feedback.FeedbackLedger.drain_dirty`.  Each
+        row is normalized per Eq. 1 (an empty/zero row becomes the
+        ``fallback`` distribution, uniform by default, exactly as in
+        :meth:`from_ledger`) and spliced into the CSR in one flat pass;
+        untouched rows are copied wholesale.
+
+        Cache coherence is row-level: when the :meth:`sparse_rows` view
+        has been materialized, only the changed entries are replaced —
+        the other ``n - k`` row dicts survive untouched, so message-level
+        engines keep their warm view.  The cached transpose is refreshed
+        from the new CSR (one O(nnz) C-level pass; the transpose scatters
+        a row change across many columns, so a sub-row patch would not
+        pay for itself).
+
+        Complexity: O(nnz) array copies plus O(k) Python work for ``k``
+        changed rows — no re-normalization, re-validation, or row-view
+        rebuild of the ``n - k`` unchanged rows.
+        """
+        n = self.n
+        if not raw_rows:
+            return
+        fb = self._fallback(n, fallback)
+        fb_nz = np.flatnonzero(fb > 0)
+        fb_vals = fb[fb_nz]
+        # Normalize every delta row first (validating as we go) so a bad
+        # row cannot leave the matrix half-patched.
+        norm: Dict[int, Dict[int, float]] = {}
+        for i in sorted(raw_rows):
+            if not 0 <= i < n:
+                raise ValidationError(f"row index {i} out of range [0, {n})")
+            row = raw_rows[i]
+            total = 0.0
+            for j, r in row.items():
+                if not 0 <= j < n:
+                    raise ValidationError(f"column index {j} out of range [0, {n})")
+                if j == i:
+                    raise ValidationError("self-scores are not allowed in row deltas")
+                if r < 0:
+                    raise ValidationError(f"raw local scores are non-negative, got {r}")
+                total += r
+            if total > 0:
+                norm[int(i)] = {int(j): r / total for j, r in row.items() if r > 0}
+            else:
+                # Dangling row: EigenTrust fallback distribution.
+                norm[int(i)] = {int(j): float(v) for j, v in zip(fb_nz, fb_vals)}
+
+        csr = self._S
+        counts = np.diff(csr.indptr).astype(np.int64)
+        for i, row_dict in norm.items():
+            counts[i] = len(row_dict)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        nnz = int(indptr[-1])
+        indices = np.empty(nnz, dtype=np.int64)
+        data = np.empty(nnz, dtype=np.float64)
+        pos_old = 0
+        pos_new = 0
+        for i in sorted(norm):
+            keep = int(csr.indptr[i]) - pos_old  # unchanged rows before i
+            if keep:
+                indices[pos_new : pos_new + keep] = csr.indices[pos_old : pos_old + keep]
+                data[pos_new : pos_new + keep] = csr.data[pos_old : pos_old + keep]
+                pos_new += keep
+            row_dict = norm[i]
+            cols = np.fromiter(row_dict, dtype=np.int64, count=len(row_dict))
+            vals = np.fromiter(row_dict.values(), dtype=np.float64, count=len(row_dict))
+            order = np.argsort(cols)
+            indices[pos_new : pos_new + cols.size] = cols[order]
+            data[pos_new : pos_new + cols.size] = vals[order]
+            pos_new += cols.size
+            pos_old = int(csr.indptr[i + 1])
+        tail = int(csr.indptr[n]) - pos_old
+        if tail:
+            indices[pos_new : pos_new + tail] = csr.indices[pos_old:]
+            data[pos_new : pos_new + tail] = csr.data[pos_old:]
+        patched = sparse.csr_matrix((data, indices, indptr), shape=(n, n))
+        if sanitize_enabled():
+            # Row-level re-validation: only the patched rows are checked.
+            changed = np.fromiter(norm, dtype=np.int64, count=len(norm))
+            sums = np.asarray(patched[changed].sum(axis=1)).ravel()
+            InvariantSanitizer().check_row_stochastic(
+                sums, where=f"apply_row_deltas({len(norm)} rows)"
+            )
+        self._S = patched
+        self._ST = patched.T.tocsr()
+        if self._rows is not None:
+            for i, row_dict in norm.items():
+                self._rows[i] = dict(row_dict)
 
     def entry(self, i: int, j: int) -> float:
         """``s_ij``."""

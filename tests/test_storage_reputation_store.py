@@ -66,9 +66,28 @@ class TestReport:
         assert 0 <= rep.misbracket_rate <= 1
         assert rep.mean_relative_error <= rep.max_relative_error
 
-    def test_report_requires_build(self):
+    def test_report_on_unbuilt_store_is_empty(self):
+        # A metrics scrape may race the first build(): an un-built store
+        # reports zeroed accounting instead of raising (and the neutral
+        # compression ratio divides nothing by nothing).
+        rep = BloomReputationStore().report()
+        assert not BloomReputationStore().built
+        assert rep.bloom_bytes == 0 and rep.raw_bytes == 0
+        assert rep.mean_relative_error == 0.0
+        assert rep.max_relative_error == 0.0
+        assert rep.misbracket_rate == 0.0
+        assert rep.compression_ratio == 1.0
+
+    def test_build_failure_preserves_previous_snapshot(self, scores):
+        # Re-entrant per-epoch rebuilds: a failed build must leave the
+        # prior snapshot fully servable (atomic swap, no half state).
+        store = BloomReputationStore(bracket_bits=5)
+        store.build(scores)
+        before = [store.lookup(i) for i in range(20)]
         with pytest.raises(ValidationError):
-            BloomReputationStore().report()
+            store.build(np.array([-1.0, 0.5]))
+        assert store.built
+        assert [store.lookup(i) for i in range(20)] == before
 
 
 class TestValidation:

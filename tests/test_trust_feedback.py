@@ -107,3 +107,57 @@ class TestViews:
         ledger.set_score(0, 2, 2.0)
         ledger.record_transaction(0, 3, TransactionOutcome.INAUTHENTIC)
         assert ledger.out_degree(0) == 2
+
+
+class TestDirtyRows:
+    def test_fresh_ledger_has_no_dirty_rows(self, ledger):
+        assert ledger.dirty_rows() == frozenset()
+
+    def test_every_mutator_marks_its_rater(self, ledger):
+        ledger.record_transaction(0, 1, TransactionOutcome.AUTHENTIC)
+        ledger.set_score(2, 3, 1.5)
+        ledger.add_score(4, 0, 0.25)
+        assert ledger.dirty_rows() == frozenset({0, 2, 4})
+
+    def test_reads_do_not_mark_dirty(self, ledger):
+        ledger.set_score(0, 1, 1.0)
+        ledger.clear_dirty()
+        ledger.score(0, 1)
+        ledger.row(0)
+        ledger.out_degree(0)
+        list(ledger.nonzero_pairs())
+        assert ledger.dirty_rows() == frozenset()
+
+    def test_drain_emits_current_clamped_rows_and_resets(self, ledger):
+        ledger.set_score(0, 1, 2.0)
+        ledger.set_score(0, 2, 1.0)
+        ledger.record_transaction(3, 0, TransactionOutcome.INAUTHENTIC)  # clamps to 0
+        deltas = ledger.drain_dirty()
+        assert deltas == {0: {1: 2.0, 2: 1.0}, 3: {}}
+        assert ledger.dirty_rows() == frozenset()
+        assert ledger.drain_dirty() == {}
+
+    def test_drain_is_sorted_by_rater(self, ledger):
+        for rater in (4, 1, 3):
+            ledger.set_score(rater, 0, 1.0)
+        assert list(ledger.drain_dirty()) == [1, 3, 4]
+
+    def test_clear_dirty_forgets_without_emitting(self, ledger):
+        ledger.set_score(0, 1, 1.0)
+        ledger.clear_dirty()
+        assert ledger.dirty_rows() == frozenset()
+        assert ledger.drain_dirty() == {}
+        # The score itself survives; only the dirty mark is dropped.
+        assert ledger.score(0, 1) == 1.0
+
+    def test_row_decayed_to_zero_drains_as_empty(self, ledger):
+        ledger.set_score(0, 1, 1.0)
+        ledger.clear_dirty()
+        ledger.add_score(0, 1, -1.0)
+        assert ledger.drain_dirty() == {0: {}}
+
+    def test_remutation_after_drain_marks_again(self, ledger):
+        ledger.set_score(0, 1, 1.0)
+        ledger.drain_dirty()
+        ledger.add_score(0, 1, 0.5)
+        assert ledger.dirty_rows() == frozenset({0})

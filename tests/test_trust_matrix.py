@@ -188,3 +188,100 @@ class TestRowsToCsr:
 
         with pytest.raises(ValidationError):
             rows_to_csr([{0: 1.0}], 2)
+
+
+class TestApplyRowDeltas:
+    def _rebuild_reference(self, ledger):
+        """The from-scratch matrix the patched one must equal."""
+        return TrustMatrix.from_ledger(ledger)
+
+    def test_patched_matches_from_scratch_rebuild(self, rng):
+        n = 40
+        ledger = FeedbackLedger(n)
+        for i in range(n):
+            for j in rng.choice(n - 1, size=5, replace=False):
+                j = int(j) + (j >= i)
+                ledger.set_score(i, int(j), float(1.0 - rng.random()))
+        S = TrustMatrix.from_ledger(ledger)
+        ledger.clear_dirty()
+        # Mutate a handful of rows: one rescored, one extended, one erased.
+        ledger.set_score(3, 7, 9.0)
+        ledger.add_score(11, 0, 2.5)
+        for j, v in list(ledger.row(20).items()):
+            ledger.set_score(20, j, 0.0)  # row 20 becomes dangling
+        S.apply_row_deltas(ledger.drain_dirty())
+        ref = self._rebuild_reference(ledger)
+        assert np.allclose(S.dense(), ref.dense())
+
+    def test_unchanged_sparse_rows_keep_identity(self, rng):
+        n = 20
+        ledger = FeedbackLedger(n)
+        for i in range(n):
+            ledger.set_score(i, (i + 1) % n, 1.0)
+            ledger.set_score(i, (i + 2) % n, float(1.0 + rng.random()))
+        S = TrustMatrix.from_ledger(ledger)
+        before = S.sparse_rows()
+        kept = {i: before[i] for i in range(n) if i != 5}
+        ledger.clear_dirty()
+        ledger.set_score(5, 0, 4.0)
+        S.apply_row_deltas(ledger.drain_dirty())
+        after = S.sparse_rows()
+        for i, row in kept.items():
+            assert after[i] is row  # identity, not just equality
+        raw_row = ledger.row(5)
+        total = sum(raw_row.values())
+        assert after[5] == pytest.approx(
+            {j: v / total for j, v in raw_row.items()}, rel=1e-12
+        )
+
+    def test_transpose_stays_coherent(self, small_S):
+        v = np.array([0.4, 0.3, 0.2, 0.1])
+        small_S.apply_row_deltas({0: {1: 1.0, 3: 3.0}})
+        assert np.allclose(small_S.aggregate(v), small_S.dense().T @ v)
+
+    def test_empty_delta_row_gets_uniform_fallback(self, small_S):
+        small_S.apply_row_deltas({1: {}})
+        assert small_S.row(1).tolist() == pytest.approx([0.25] * 4)
+
+    def test_empty_delta_row_custom_fallback(self, small_S):
+        fb = np.array([0.0, 0.0, 0.0, 1.0])
+        small_S.apply_row_deltas({1: {}}, fallback=fb)
+        assert small_S.row(1).tolist() == pytest.approx([0.0, 0.0, 0.0, 1.0])
+
+    def test_no_deltas_is_a_noop(self, small_S):
+        before = small_S.dense()
+        small_S.apply_row_deltas({})
+        assert np.array_equal(small_S.dense(), before)
+
+    def test_rejects_out_of_range_rater(self, small_S):
+        with pytest.raises(ValidationError):
+            small_S.apply_row_deltas({4: {0: 1.0}})
+
+    def test_rejects_out_of_range_ratee(self, small_S):
+        with pytest.raises(ValidationError):
+            small_S.apply_row_deltas({0: {4: 1.0}})
+
+    def test_rejects_self_score(self, small_S):
+        with pytest.raises(ValidationError):
+            small_S.apply_row_deltas({2: {2: 1.0}})
+
+    def test_rejects_negative_score(self, small_S):
+        with pytest.raises(ValidationError):
+            small_S.apply_row_deltas({0: {1: -0.5}})
+
+    def test_rows_stay_stochastic_under_armed_sanitizer(self, rng):
+        from repro.analysis.sanitizer import set_sanitize_enabled
+
+        n = 25
+        raw = rng.random((n, n)) * (rng.random((n, n)) < 0.3)
+        np.fill_diagonal(raw, 0.0)
+        for i in range(n):
+            if raw[i].sum() == 0:
+                raw[i, (i + 1) % n] = 1.0
+        S = TrustMatrix.from_dense_raw(raw)
+        set_sanitize_enabled(True)
+        try:
+            S.apply_row_deltas({2: {0: 1.0, 5: 2.0}, 7: {}, 9: {1: 0.25}})
+        finally:
+            set_sanitize_enabled(None)
+        assert np.allclose(np.asarray(S.sparse().sum(axis=1)).ravel(), 1.0)

@@ -23,9 +23,22 @@ Since schema 2 an ``end_to_end`` section extends the per-cycle cells:
 * sweep-runner throughput (points/sec) at workers in {1, 2, 4}
   ({1, 2} in quick mode) over Fig. 3-style points.
 
+Since schema 3 a ``service`` section measures the long-lived
+:class:`~repro.service.ReputationService` closed loop via
+:func:`~repro.service.simulate_service`: sustained ingest events/sec,
+Bloom-store query throughput, served-score staleness, and the
+incremental-vs-scratch comparison — mean warm-started epoch against a
+cold from-scratch ``GossipTrust.run`` on the identical matrix and
+power-node set (``wall_speedup``/``step_speedup``, plus the vector
+parity error between the two).  Schema 3 also stamps caller-supplied
+provenance: ``--label`` and ``--commit`` are recorded verbatim (both
+passed in, never read from a clock or ``git`` here, so runs stay
+deterministic and offline-friendly).
+
 Usage::
 
     PYTHONPATH=src python tools/bench_runner.py [--quick] [--output PATH]
+        [--label TEXT] [--commit SHA]
 """
 
 from __future__ import annotations
@@ -49,6 +62,7 @@ from repro.experiments.fig3_gossip_steps import _fig3_point  # noqa: E402
 from repro.experiments.runner import SweepPoint, run_sweep  # noqa: E402
 from repro.experiments.synthetic import synthetic_trust_matrix  # noqa: E402
 from repro.gossip.factory import make_engine  # noqa: E402
+from repro.service import ServeSimConfig, simulate_service  # noqa: E402
 from repro.utils.proc import peak_rss_kib  # noqa: E402
 from repro.utils.rng import RngStreams  # noqa: E402
 
@@ -67,6 +81,12 @@ SWEEP_WORKERS_QUICK = (1, 2)
 SWEEP_POINT_N = 300
 SWEEP_POINT_N_QUICK = 150
 SWEEP_POINTS = 8
+#: service closed-loop problem size (the acceptance operating point)
+SERVICE_N = 1000
+SERVICE_N_QUICK = 250
+#: measured ingest/query/aggregate epochs in the service section
+SERVICE_EPOCHS = 4
+SERVICE_EPOCHS_QUICK = 2
 
 
 def bench_cell(engine: str, n: int, repeats: int, **overrides) -> dict:
@@ -202,7 +222,74 @@ def run_end_to_end(quick: bool) -> dict:
     }
 
 
-def run(quick: bool) -> dict:
+def run_service(quick: bool) -> dict:
+    """The schema-3 section: the long-lived service closed loop.
+
+    One :func:`simulate_service` run at the pinned seed: bootstrap a
+    mature synthetic network, stabilize the power-node set, then stream
+    concentrated feedback batches (~1% of rater rows per epoch) through
+    warm-started aggregation epochs while serving Bloom-store lookups.
+    The recorded speedups compare the mean warm epoch against one cold
+    from-scratch run on the same matrix and power-node set.
+    """
+    cfg = ServeSimConfig(
+        n=SERVICE_N_QUICK if quick else SERVICE_N,
+        epochs=SERVICE_EPOCHS_QUICK if quick else SERVICE_EPOCHS,
+        events_per_epoch=50 if quick else 100,
+        queries_per_epoch=200 if quick else 500,
+        seed=SEED,
+    )
+    report = simulate_service(cfg)
+    print(
+        f"{'service ingest/query':55s} n={cfg.n:5d}  "
+        f"{report.ingest_events_per_s:10.0f} ev/s  "
+        f"{report.queries_per_s:8.0f} q/s  "
+        f"staleness={report.mean_staleness_events:.1f}"
+    )
+    print(
+        f"{'service warm epoch (mean) vs cold scratch':55s} n={cfg.n:5d}  "
+        f"{report.warm_wall_s:8.3f}s vs {report.cold_wall_s:.3f}s  "
+        f"x{report.wall_speedup:.2f} wall  x{report.step_speedup:.2f} steps"
+    )
+    return {
+        "n": cfg.n,
+        "epochs": cfg.epochs,
+        "events_per_epoch": cfg.events_per_epoch,
+        "queries_per_epoch": cfg.queries_per_epoch,
+        "dirty_fraction": cfg.dirty_fraction,
+        "mean_balance": cfg.mean_balance,
+        "warmup_epochs": report.warmup_epochs,
+        "power_nodes_stable": report.power_nodes_stable,
+        "ingest_events_per_s": round(report.ingest_events_per_s, 1),
+        "queries_per_s": round(report.queries_per_s, 1),
+        "mean_staleness_events": round(report.mean_staleness_events, 2),
+        "max_staleness_events": report.max_staleness_events,
+        "warm_cycles_mean": round(report.warm_cycles, 2),
+        "warm_steps_mean": round(report.warm_steps, 1),
+        "warm_wall_s_mean": round(report.warm_wall_s, 6),
+        "cold_cycles": report.cold_cycles,
+        "cold_steps": report.cold_steps,
+        "cold_wall_s": round(report.cold_wall_s, 6),
+        "wall_speedup": round(report.wall_speedup, 3),
+        "step_speedup": round(report.step_speedup, 3),
+        "vector_error": round(report.vector_error, 8),
+        "store_compression": round(report.store_compression, 3),
+        "epochs_detail": [
+            {
+                "epoch": ep.epoch,
+                "dirty_rows": ep.dirty_rows,
+                "events_absorbed": ep.events_absorbed,
+                "cycles": ep.cycles,
+                "gossip_steps": ep.gossip_steps,
+                "power_node_churn": round(ep.power_node_churn, 4),
+                "wall_time_s": round(ep.wall_time_s, 6),
+            }
+            for ep in report.epoch_reports
+        ],
+    }
+
+
+def run(quick: bool, *, label: str = "", commit: str = "") -> dict:
     repeats = 1 if quick else 3
     entries = []
     for n in N_SWEEP:
@@ -215,23 +302,28 @@ def run(quick: bool) -> dict:
             cells.append(("message", {"max_rounds": 400}))
         for engine, overrides in cells:
             cell = bench_cell(engine, n, repeats, **overrides)
-            label = "+".join(
+            cell_label = "+".join(
                 [engine, *(f"{k}={v}" for k, v in sorted(overrides.items()))]
             )
             print(
-                f"{label:55s} n={n:5d}  {cell['wall_time_s']:8.3f}s  "
+                f"{cell_label:55s} n={n:5d}  {cell['wall_time_s']:8.3f}s  "
                 f"steps={cell['steps']}"
             )
             entries.append(cell)
     return {
-        "schema": 2,
+        "schema": 3,
         "quick": quick,
         "seed": SEED,
         "epsilon": EPSILON,
+        # Caller-supplied provenance (empty when not passed); never read
+        # from a clock or VCS here so the run itself stays deterministic.
+        "label": label,
+        "commit": commit,
         "python": platform.python_version(),
         "numpy": np.__version__,
         "entries": entries,
         "end_to_end": run_end_to_end(quick),
+        "service": run_service(quick),
     }
 
 
@@ -246,8 +338,20 @@ def main(argv=None) -> int:
         default=REPO_ROOT / "BENCH_engines.json",
         help="output JSON path (default: BENCH_engines.json at the repo root)",
     )
+    parser.add_argument(
+        "--label",
+        default="",
+        help="free-form provenance label stamped into the payload "
+        "(e.g. a PR id or machine name; caller-supplied, not derived)",
+    )
+    parser.add_argument(
+        "--commit",
+        default="",
+        help="commit SHA stamped into the payload (pass `git rev-parse HEAD` "
+        "from the caller; the runner never shells out to git itself)",
+    )
     args = parser.parse_args(argv)
-    payload = run(quick=args.quick)
+    payload = run(quick=args.quick, label=args.label, commit=args.commit)
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.output}")
     return 0
