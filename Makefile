@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint analyze typecheck ci bench bench-smoke service-smoke sweep examples experiments docs clean
+.PHONY: install test lint analyze typecheck ci bench bench-smoke bench-large service-smoke sweep examples experiments docs clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -44,6 +44,13 @@ bench:
 # that one with `PYTHONPATH=src python tools/bench_runner.py` — stays intact.
 bench-smoke:
 	PYTHONPATH=src $(PYTHON) tools/bench_runner.py --quick --output BENCH_engines.quick.json
+
+# Large-n sparse-kernel tier only (n=10^4 in quick mode): one converged
+# probe cycle per dtype with per-point peak-RSS metering.  Exits
+# non-zero when a wall-time or RSS budget is blown, so it doubles as a
+# memory-regression gate (full tier incl. n=10^5: drop --quick).
+bench-large:
+	PYTHONPATH=src $(PYTHON) tools/bench_runner.py --quick --large-only --output BENCH_large.quick.json
 
 # Long-lived service soak: ingest -> incremental aggregation -> Bloom
 # serving, with the runtime invariant sanitizer armed so every

@@ -28,7 +28,13 @@ the fast paths:
   set is stable and <= 1% of trust rows change per epoch, warm-started
   incremental re-aggregation must beat a cold from-scratch
   ``GossipTrust.run`` by >= ``SERVICE_SPEEDUP_FLOOR`` x wall time while
-  both converge to the same vector.
+  both converge to the same vector;
+* the memory-bounded ``kernel="sparse"`` path — step/score parity with
+  the fast kernel at n = 1000 (both kernels consume the same partner
+  stream and check cadence), and a converged probe cycle at
+  n = ``SPARSE_N`` inside the ``SPARSE_RSS_BUDGET_KIB`` per-point
+  peak-RSS budget (metered with high-water-mark resets, so the reading
+  is the cycle's own working set).
 """
 
 import os
@@ -42,6 +48,7 @@ from repro.experiments.runner import SweepPoint, run_sweep
 from repro.experiments.synthetic import synthetic_trust_matrix
 from repro.gossip.factory import engine_names, make_engine
 from repro.metrics.telemetry import CycleTelemetry
+from repro.utils.proc import PeakRssMeter
 from repro.utils.rng import RngStreams
 
 N = 256
@@ -61,6 +68,12 @@ SERVICE_N = 1000
 #: required cold-scratch / warm-epoch wall-time ratio at n = SERVICE_N
 #: (the acceptance floor; the recorded trajectory runs ~5x)
 SERVICE_SPEEDUP_FLOOR = 3.0
+#: large-n sparse-kernel budget point (bench_runner's quick tier size)
+SPARSE_N = 10_000
+#: per-point peak-RSS ceiling for the sparse cycle at n = SPARSE_N
+#: (1 GiB; the observed working set is ~150 MiB, so the budget flags
+#: only order-of-magnitude regressions, not machine noise)
+SPARSE_RSS_BUDGET_KIB = 1 * 1024 * 1024
 
 
 @pytest.fixture(scope="module")
@@ -179,6 +192,54 @@ def test_workspace_reuse_not_slower(bench_S_full):
     assert speedup >= 0.95, (
         f"workspace reuse is slower than per-cycle reallocation: "
         f"{speedup:.3f}x ({t_reuse:.3f}s vs {t_alloc:.3f}s)"
+    )
+
+
+def test_sync_sparse_kernel_parity(bench_S_full):
+    """The sparse kernel replays the fast kernel exactly at n = 1000.
+
+    Both kernels consume the same partner stream and run the same
+    estimate/residual cadence, so in both probe and full mode the
+    convergence step counts must agree exactly and the cycle scores to
+    float64 round-off.
+    """
+    for mode in ("probe", "full"):
+        _, r_fast = _median_cycle_time(
+            bench_S_full, FULL_N, repeats=1, mode=mode, kernel="fast"
+        )
+        _, r_sparse = _median_cycle_time(
+            bench_S_full, FULL_N, repeats=1, mode=mode, kernel="sparse"
+        )
+        assert r_fast.steps == r_sparse.steps, mode
+        assert r_fast.converged and r_sparse.converged
+        np.testing.assert_allclose(
+            r_sparse.v_next, r_fast.v_next, rtol=0, atol=1e-12
+        )
+
+
+def test_sparse_kernel_rss_budget():
+    """A converged sparse probe cycle at n = 10^4 inside the RSS budget.
+
+    The per-point meter starts *after* the trust matrix is built, so
+    the reading is the kernel's own working set (pools + tiles +
+    estimate buffers) on top of the resident baseline — the same
+    protocol as bench_runner's ``large_n`` tier and its CI assertion.
+    """
+    S = synthetic_trust_matrix(SPARSE_N, rng=RngStreams(SEED).get("matrix"))
+    v = np.full(SPARSE_N, 1.0 / SPARSE_N)
+    eng = make_engine(
+        "sync", n=SPARSE_N, rng=RngStreams(SEED),
+        epsilon=1e-4, mode="probe", kernel="sparse",
+    )
+    meter = PeakRssMeter()
+    res = eng.run_cycle(S, v)
+    peak = meter.read_kib()
+    assert res.converged
+    if not meter.exact:
+        pytest.skip("per-interval RSS metering unavailable on this platform")
+    assert peak <= SPARSE_RSS_BUDGET_KIB, (
+        f"sparse cycle at n={SPARSE_N} peaked at {peak / 1024:.0f} MiB "
+        f"(> {SPARSE_RSS_BUDGET_KIB / 1024:.0f} MiB budget)"
     )
 
 

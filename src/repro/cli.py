@@ -88,6 +88,20 @@ def build_parser() -> argparse.ArgumentParser:
         "(shorthand for --set workers=N; 1 = serial)",
     )
     run_p.add_argument(
+        "--kernel",
+        default=None,
+        choices=["fast", "sparse", "legacy"],
+        help="sync-engine step-loop kernel (shorthand for "
+        "--set kernel=NAME; 'sparse' is the memory-bounded large-n path)",
+    )
+    run_p.add_argument(
+        "--dtype",
+        default=None,
+        choices=["float64", "float32"],
+        help="sync-engine buffer precision (shorthand for "
+        "--set dtype=NAME; float32 halves workspace memory)",
+    )
+    run_p.add_argument(
         "--set",
         dest="overrides",
         action="append",
@@ -177,6 +191,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             overrides["engine"] = args.engine
         if args.workers is not None:
             overrides["workers"] = args.workers
+        if args.kernel is not None:
+            overrides["kernel"] = args.kernel
+        if args.dtype is not None:
+            overrides["dtype"] = args.dtype
         result = run_experiment(args.experiment, quick=args.quick, **overrides)
         print(result.render(chart=args.chart))
         return 0

@@ -57,6 +57,18 @@ class GossipTrustConfig:
     densify_threshold:
         Density fraction at which the vectorized engine's fast kernel
         switches its state from CSR to dense buffers (0 = immediately).
+    kernel:
+        Step-loop kernel of the vectorized engine: ``"fast"`` (dense
+        segment-sum, the default), ``"sparse"`` (the memory-bounded
+        pooled-SpGEMM path for large n), or ``"legacy"`` (the reference
+        implementation).
+    dtype:
+        Vectorized-engine buffer precision, ``"float64"`` (default) or
+        ``"float32"`` (halves workspace memory; scores agree to
+        ~steps * eps32 relative — see the engine docs).
+    block_rows:
+        Tile height of the sparse kernel's blocked estimate/residual
+        pass; 0 (default) uses the ~1 MiB cache-block formula.
     compute_reference:
         Whether :meth:`GossipTrust.run` computes the exact-aggregation
         oracle for error reporting.  The oracle costs O(n * cycles)
@@ -84,6 +96,9 @@ class GossipTrustConfig:
     probe_columns: int = 64
     check_every: int = 8
     densify_threshold: float = 0.25
+    kernel: str = "fast"
+    dtype: str = "float64"
+    block_rows: int = 0
     compute_reference: bool = True
     seed: Optional[int] = None
     sanitize: bool = field(default_factory=sanitize_enabled)
@@ -133,6 +148,16 @@ class GossipTrustConfig:
         if not 0.0 <= self.densify_threshold <= 1.0:
             raise ConfigurationError(
                 f"densify_threshold must be in [0, 1], got {self.densify_threshold}"
+            )
+        if self.kernel not in ("fast", "sparse", "legacy"):
+            raise ConfigurationError(f"unknown kernel {self.kernel!r}")
+        if self.dtype not in ("float64", "float32"):
+            raise ConfigurationError(f"unknown dtype {self.dtype!r}")
+        if self.kernel == "legacy" and self.dtype != "float64":
+            raise ConfigurationError("kernel='legacy' supports only dtype='float64'")
+        if self.block_rows < 0:
+            raise ConfigurationError(
+                f"block_rows must be >= 0, got {self.block_rows}"
             )
 
     @property

@@ -45,12 +45,16 @@ def _fig3_point(
     epsilon: float,
     cycles_per_point: int = 3,
     engine: str = "sync",
+    kernel: str = "fast",
+    dtype: str = "float64",
 ) -> Tuple[float, List[CycleRecord]]:
     """One Fig. 3 sweep point: mean steps over ``cycles_per_point`` cycles.
 
     Module-level and seed-pure so :func:`~repro.experiments.runner.run_sweep`
     can ship it to worker processes; returns the measurement plus the
-    point's per-cycle telemetry records.
+    point's per-cycle telemetry records.  ``kernel``/``dtype`` select
+    the sync engine's step-loop kernel and buffer precision (ignored by
+    engines that do not take them).
     """
     streams = RngStreams(seed)
     S = synthetic_trust_matrix(n, rng=streams.get("matrix"))
@@ -62,6 +66,8 @@ def _fig3_point(
         mode="probe",
         probe_columns=64,
         max_steps=20_000,
+        kernel=kernel,
+        dtype=dtype,
     )
     v = np.full(n, 1.0 / n)
     telemetry = CycleTelemetry()
@@ -80,6 +86,8 @@ def run_fig3(
     repeats: int = 3,
     cycles_per_point: int = 3,
     engine: str = "sync",
+    kernel: str = "fast",
+    dtype: str = "float64",
     workers: int = 1,
 ) -> ExperimentResult:
     """Measure mean gossip steps per cycle for each (n, epsilon).
@@ -108,6 +116,8 @@ def run_fig3(
                 "epsilon": eps,
                 "cycles_per_point": cycles_per_point,
                 "engine": engine,
+                "kernel": kernel,
+                "dtype": dtype,
             },
             seed=seed,
             label=f"n={n}/eps={eps:g}/s{seed}",

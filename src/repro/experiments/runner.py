@@ -41,7 +41,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, List, Mapping, Optional, Sequence
 
 from repro.errors import ExperimentError
-from repro.utils.proc import peak_rss_kib
+from repro.utils.proc import PeakRssMeter
 
 __all__ = ["SweepPoint", "SweepOutcome", "SweepReport", "run_sweep"]
 
@@ -72,14 +72,20 @@ class SweepPoint:
     label: str = ""
 
     def execute(self) -> "SweepOutcome":
-        """Run this point in the current process, timing it."""
+        """Run this point in the current process, timing it.
+
+        Peak RSS is metered per point (:class:`~repro.utils.proc.PeakRssMeter`
+        resets the kernel high-water mark), so consecutive points in one
+        worker don't all inherit the largest point's lifetime peak.
+        """
+        meter = PeakRssMeter()
         start = time.perf_counter()
         value = self.fn(seed=self.seed, **dict(self.kwargs))
         return SweepOutcome(
             point=self,
             value=value,
             wall_time=time.perf_counter() - start,
-            peak_rss_kib=peak_rss_kib(),
+            peak_rss_kib=meter.read_kib(),
         )
 
 
@@ -92,7 +98,9 @@ class SweepOutcome:
     value: Any
     #: seconds spent inside the point function (in its worker process)
     wall_time: float
-    #: worker-process peak RSS right after the point finished (KiB)
+    #: peak RSS over this point's execution interval (KiB; per-point
+    #: where the kernel supports high-water-mark resets, lifetime bound
+    #: elsewhere)
     peak_rss_kib: float
 
 

@@ -25,7 +25,7 @@ experiments, and the CLI construct them exclusively through
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import ClassVar, Dict, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
@@ -79,6 +79,10 @@ class GossipCycleResult:
         Messages lost to the transport during the cycle.
     mass_lost_fraction:
         Fraction of the (x, w) push-sum mass lost to drops/departures.
+    phase_times:
+        Wall-clock seconds per cycle phase (``setup``, ``oracle``,
+        ``alloc``, ``kernel``, ``estimate``) for engines that break
+        their cycle down; empty for engines that do not.
     """
 
     v_next: np.ndarray
@@ -91,6 +95,7 @@ class GossipCycleResult:
     messages_sent: int = 0
     messages_dropped: int = 0
     mass_lost_fraction: float = 0.0
+    phase_times: Dict[str, float] = field(default_factory=dict)
 
 
 class CycleEngine(ABC):

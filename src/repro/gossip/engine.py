@@ -23,7 +23,7 @@ Two memory modes:
   used for the Fig. 3 sweeps at n = 4000, where full mode would need
   hundreds of MB).
 
-Two kernels execute the step loop:
+Three kernels execute the step loop:
 
 * ``fast`` (default) — allocation-free segment-sum over preallocated
   X/W/scratch buffers.  Partner draws are batched (`check_every` steps
@@ -35,27 +35,49 @@ Two kernels execute the step loop:
   for the first few steps until their density crosses
   ``densify_threshold`` (X0 = diag(v)@S inherits the trust matrix's
   sparsity, so early steps are O(nnz) instead of O(n*p)).
+* ``sparse`` — the memory-bounded large-n path: X and W stay in CSR
+  form for the *entire* cycle, held in three rotating
+  :class:`~repro.gossip.memory.CsrPool` buffers (current X, current W,
+  SpGEMM output) whose capacity grows geometrically and never per
+  step.  Each step is two C-level SpGEMMs (``csr_matmat``) of the
+  pooled mixing matrix against the pooled state; the estimate/residual
+  pass gathers CSR rows into cache-blocked dense tiles
+  (``block_rows``) against a single persistent ``prev`` estimate
+  buffer, so the only (n, p) dense array in the cycle is that buffer.
+  With probe-mode column selection the working set is (n, p) with
+  ``p = probe_columns`` regardless of n — at n = 10^5, p = 64,
+  float64 the whole cycle fits ~0.5 GiB; ``dtype="float32"`` halves
+  it again for the n = 10^6 tier.
 * ``legacy`` — the reference implementation: per-step scatter matrix
   construction and ``0.5*(X + A@X)`` allocation chain.  Kept so the
   contract suite can assert the fast path is protocol-identical and so
   the benchmark trajectory records the speedup.
 
-Both kernels consume the identical partner-choice RNG stream (a
+All kernels consume the identical partner-choice RNG stream (a
 Generator fills a ``(k, n)`` block in the same element order as ``k``
 successive size-``n`` draws), so with the same seed and ``check_every``
-they walk the same mixing-matrix sequence.
+they walk the same mixing-matrix sequence — fast and sparse runs stop
+on the same step and agree to accumulation-order rounding.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 from scipy import sparse
 
+from repro.analysis.sanitizer import InvariantSanitizer
 from repro.errors import ConvergenceError, ValidationError
 from repro.gossip.base import CycleEngine, GossipCycleResult, TrustInput, coerce_csr
 from repro.gossip.convergence import average_relative_error
+from repro.gossip.memory import (
+    BACKEND_NAMES,
+    BufferBackend,
+    CsrPool,
+    make_backend,
+)
+from repro.metrics.telemetry import Stopwatch
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_in_range, check_vector
 
@@ -64,7 +86,22 @@ try:  # the C segment-sum kernel behind scipy's own csr @ dense
 except ImportError:  # pragma: no cover - very old scipy
     _csr_matvecs = None
 
-__all__ = ["GossipCycleResult", "SynchronousGossipEngine", "Workspace"]
+try:  # the C SpGEMM / row-gather kernels behind scipy's csr @ csr
+    from scipy.sparse._sparsetools import csr_matmat as _csr_matmat
+    from scipy.sparse._sparsetools import csr_todense as _csr_todense
+except ImportError:  # pragma: no cover - very old scipy
+    _csr_matmat = None
+    _csr_todense = None
+
+__all__ = [
+    "GossipCycleResult",
+    "SynchronousGossipEngine",
+    "Workspace",
+    "SparseWorkspace",
+]
+
+#: engine dtype names accepted by ``dtype=`` (the buffer precision)
+DTYPE_NAMES = ("float64", "float32")
 
 #: above this node count, auto mode switches from full to probe
 _FULL_MODE_LIMIT = 1500
@@ -130,37 +167,161 @@ class Workspace:
     """
 
     __slots__ = (
-        "n", "p", "X", "W", "sX", "sW", "est", "prev",
+        "n", "p", "dtype", "backend", "X", "W", "sX", "sW", "est", "prev",
         "num", "den", "blk", "half", "indptr", "ids", "valid",
     )
 
-    def __init__(self, n: int, p: int) -> None:
+    def __init__(
+        self,
+        n: int,
+        p: int,
+        dtype: "np.dtype | type" = np.float64,
+        backend: Optional[BufferBackend] = None,
+    ) -> None:
         self.n = int(n)
         self.p = int(p)
-        self.X = np.empty((n, p), dtype=np.float64)
-        self.W = np.empty((n, p), dtype=np.float64)
-        self.sX = np.empty((n, p), dtype=np.float64)
-        self.sW = np.empty((n, p), dtype=np.float64)
-        self.est = np.empty((n, p))
-        self.prev = np.empty((n, p))
+        self.dtype = np.dtype(dtype)
+        self.backend = backend if backend is not None else make_backend(None)
+        be = self.backend
+        self.X = be.empty((n, p), self.dtype, "X")
+        self.W = be.empty((n, p), self.dtype, "W")
+        self.sX = be.empty((n, p), self.dtype, "sX")
+        self.sW = be.empty((n, p), self.dtype, "sW")
+        self.est = be.empty((n, p), self.dtype, "est")
+        self.prev = be.empty((n, p), self.dtype, "prev")
         self.blk = max(1, min(n, (1 << 17) // max(p, 1)))  # ~1 MiB residual chunks
-        self.num = np.empty((self.blk, p))
-        self.den = np.empty((self.blk, p))
-        self.half = np.full(n, 0.5)
-        self.indptr = np.zeros(n + 1, dtype=np.int32)
-        self.ids = np.arange(n)
+        self.num = be.empty((self.blk, p), self.dtype, "num")
+        self.den = be.empty((self.blk, p), self.dtype, "den")
+        self.half = be.empty(n, self.dtype, "half")
+        self.half.fill(0.5)
+        self.indptr = be.empty(n + 1, np.int32, "indptr")
+        self.indptr[0] = 0
+        self.ids = be.empty(n, np.int64, "ids")
+        self.ids[:] = np.arange(n)
         self.valid = True
 
-    def matches(self, n: int, p: int) -> bool:
-        """Whether these buffers serve shape ``(n, p)`` and are live."""
-        return self.valid and self.n == n and self.p == p
+    def matches(self, n: int, p: int, dtype: "np.dtype | type" = np.float64) -> bool:
+        """Whether these buffers serve shape/(dtype) ``(n, p)`` and are live."""
+        return self.valid and self.n == n and self.p == p and self.dtype == np.dtype(dtype)
 
     def invalidate(self) -> None:
-        """Mark the buffers unusable; the next cycle allocates fresh ones."""
+        """Mark the buffers unusable; the next cycle allocates fresh ones.
+
+        With a non-private backend the buffer references are dropped and
+        the backend closed (shared-memory segments unlink, spill files
+        delete) — segment handles cannot close while ndarray views are
+        still exported, so the views go first.
+        """
         self.valid = False
+        if self.backend.name == "private":
+            return
+        for name in (
+            "X", "W", "sX", "sW", "est", "prev",
+            "num", "den", "half", "indptr", "ids",
+        ):
+            setattr(self, name, None)
+        self.backend.close()
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"Workspace(n={self.n}, p={self.p}, valid={self.valid})"
+
+
+class SparseWorkspace:
+    """Pooled CSR buffers of the sparse kernel, one ``(n, p, dtype)`` shape.
+
+    Three rotating :class:`~repro.gossip.memory.CsrPool` instances hold
+    the CSR state (current X, current W, SpGEMM output — the output
+    pool is always the one whose contents just died, so two pools'
+    worth of state plus one scratch covers the whole cycle).  The
+    mixing matrix ``M = 0.5*(I + A)`` has exactly ``2n`` entries every
+    step, so its ``m_indptr``/``m_indices``/``m_data`` arrays are
+    fixed-size and ``m_data`` is the constant 0.5 vector, filled once.
+
+    The only dense (n, p) array is ``prev``, the persistent previous
+    estimate of the convergence check; the check itself runs over
+    ``blk``-row tiles (``xt``/``wt``/``num``/``den``, plus the ``bp``
+    offset-adjusted indptr) gathered from the pools, so peak memory is
+    ``3 * pool + (n, p) + O(blk * p)`` regardless of how long the cycle
+    runs.  ``block_rows`` overrides the tile height (0 = the fast
+    kernel's ~1 MiB cache-block formula).
+    """
+
+    __slots__ = (
+        "n", "p", "dtype", "backend", "block_rows", "pools",
+        "m_indptr", "m_indices", "m_data", "prev",
+        "xt", "wt", "num", "den", "bp", "blk", "ids", "valid",
+    )
+
+    def __init__(
+        self,
+        n: int,
+        p: int,
+        dtype: "np.dtype | type" = np.float64,
+        backend: Optional[BufferBackend] = None,
+        block_rows: int = 0,
+    ) -> None:
+        self.n = int(n)
+        self.p = int(p)
+        self.dtype = np.dtype(dtype)
+        self.backend = backend if backend is not None else make_backend(None)
+        self.block_rows = int(block_rows)
+        be = self.backend
+        # Pools start at O(n) capacity (X0 inherits S's sparsity) and
+        # double geometrically toward the n*p occupancy ceiling.
+        cap0 = min(n * p, max(p, 2 * n))
+        self.pools = [
+            CsrPool(n, p, cap0, self.dtype, be, label=lbl)
+            for lbl in ("X", "W", "out")
+        ]
+        self.m_indptr = be.empty(n + 1, np.int32, "m-indptr")
+        self.m_indptr[0] = 0
+        self.m_indices = be.empty(2 * n, np.int32, "m-indices")
+        self.m_data = be.empty(2 * n, self.dtype, "m-data")
+        self.m_data.fill(0.5)
+        self.prev = be.empty((n, p), self.dtype, "prev")
+        blk = self.block_rows if self.block_rows > 0 else (
+            max(1, (1 << 17) // max(p, 1))  # fast kernel's ~1 MiB chunks
+        )
+        self.blk = max(1, min(n, blk))
+        self.xt = be.empty((self.blk, p), self.dtype, "xt")
+        self.wt = be.empty((self.blk, p), self.dtype, "wt")
+        self.num = be.empty((self.blk, p), self.dtype, "num")
+        self.den = be.empty((self.blk, p), self.dtype, "den")
+        self.bp = be.empty(self.blk + 1, np.int32, "bp")
+        self.ids = be.empty(n, np.int64, "ids")
+        self.ids[:] = np.arange(n)
+        self.valid = True
+
+    def matches(
+        self, n: int, p: int, dtype: "np.dtype | type", block_rows: int
+    ) -> bool:
+        """Whether these pools serve ``(n, p, dtype, block_rows)`` and are live."""
+        return (
+            self.valid
+            and self.n == n
+            and self.p == p
+            and self.dtype == np.dtype(dtype)
+            and self.block_rows == int(block_rows)
+        )
+
+    def invalidate(self) -> None:
+        """Drop the pools; non-private backends release their resources."""
+        self.valid = False
+        if self.backend.name == "private":
+            return
+        self.pools = []
+        for name in (
+            "m_indptr", "m_indices", "m_data", "prev",
+            "xt", "wt", "num", "den", "bp", "ids",
+        ):
+            setattr(self, name, None)
+        self.backend.close()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"SparseWorkspace(n={self.n}, p={self.p}, "
+            f"dtype={self.dtype.name}, valid={self.valid})"
+        )
 
 
 class SynchronousGossipEngine(CycleEngine):
@@ -200,16 +361,41 @@ class SynchronousGossipEngine(CycleEngine):
         criterion needs ``W > 0`` everywhere), so the sparse phase is
         pure O(nnz) mixing.
     kernel:
-        ``"fast"`` (in-place scatter-add kernel) or ``"legacy"`` (the
-        reference per-step matrix construction).  Protocol-identical;
-        see the module docstring.
+        ``"fast"`` (in-place scatter-add kernel), ``"sparse"`` (the
+        memory-bounded pooled-SpGEMM path for large n), or ``"legacy"``
+        (the reference per-step matrix construction).
+        Protocol-identical; see the module docstring.
+    dtype:
+        Buffer precision, ``"float64"`` (default) or ``"float32"``.
+        float32 halves every workspace buffer; because each step only
+        halves and adds positive masses the per-step rounding is
+        ~machine epsilon, so a converged cycle's scores agree with
+        float64 to roughly ``steps * eps32`` relative (~1e-5 at typical
+        step counts — measured in the parity tests).  With an armed
+        sanitizer the conservation tolerance is widened to 1e-4 for the
+        same reason.  The legacy kernel is float64-only.
+    block_rows:
+        Tile height of the sparse kernel's blocked estimate/residual
+        gather pass.  0 (default) uses the fast kernel's ~1 MiB
+        cache-block formula ``min(n, 2^17 / p)`` — which the fast
+        kernel itself always uses, so residual scans of the two kernels
+        walk identical tiles.
+    workspace_backend:
+        Where workspace buffers physically live: ``"private"``
+        (default, ordinary heap), ``"shared"``
+        (:mod:`multiprocessing.shared_memory` segments another process
+        can attach), or ``"memmap"`` (file-backed maps the OS can
+        evict).  A preconstructed
+        :class:`~repro.gossip.memory.BufferBackend` is also accepted.
+        Non-private backends require ``reuse_workspace=True`` (the
+        engine must own the buffers to release them).
     reuse_workspace:
-        Keep the fast kernel's dense buffers (:class:`Workspace`) alive
-        between ``run_cycle`` calls of the same shape instead of
-        reallocating them per cycle (default True; results are
-        identical either way — the buffers are write-before-read).
-        ``False`` restores the per-cycle-allocation behaviour, kept as
-        the benchmark baseline.
+        Keep the kernel buffers (:class:`Workspace` /
+        :class:`SparseWorkspace`) alive between ``run_cycle`` calls of
+        the same shape instead of reallocating them per cycle (default
+        True; results are identical either way — the buffers are
+        write-before-read).  ``False`` restores the per-cycle-allocation
+        behaviour, kept as the benchmark baseline.
     rng:
         Partner-choice randomness.
     """
@@ -228,6 +414,9 @@ class SynchronousGossipEngine(CycleEngine):
         check_every: int = 8,
         densify_threshold: float = 0.25,
         kernel: str = "fast",
+        dtype: str = "float64",
+        block_rows: int = 0,
+        workspace_backend: "str | BufferBackend" = "private",
         reuse_workspace: bool = True,
         rng: SeedLike = None,
     ) -> None:
@@ -235,8 +424,21 @@ class SynchronousGossipEngine(CycleEngine):
             raise ValidationError(f"gossip needs n >= 2 nodes, got {n}")
         if mode not in ("auto", "full", "probe"):
             raise ValidationError(f"unknown mode {mode!r}")
-        if kernel not in ("fast", "legacy"):
+        if kernel not in ("fast", "legacy", "sparse"):
             raise ValidationError(f"unknown kernel {kernel!r}")
+        if dtype not in DTYPE_NAMES:
+            raise ValidationError(
+                f"unknown dtype {dtype!r}; known: {', '.join(DTYPE_NAMES)}"
+            )
+        if kernel == "legacy" and dtype != "float64":
+            raise ValidationError(
+                "kernel='legacy' is the float64 reference implementation; "
+                "use kernel='fast' or 'sparse' for float32 buffers"
+            )
+        if kernel == "sparse" and (_csr_matmat is None or _csr_todense is None):
+            raise ValidationError(  # pragma: no cover - very old scipy
+                "kernel='sparse' needs scipy's csr_matmat/csr_todense kernels"
+            )
         check_in_range("epsilon", epsilon, low=0.0, low_inclusive=False)
         if probe_columns < 1:
             raise ValidationError(f"probe_columns must be >= 1, got {probe_columns}")
@@ -244,19 +446,52 @@ class SynchronousGossipEngine(CycleEngine):
             raise ValidationError(f"max_steps must be >= 1, got {max_steps}")
         if check_every < 1:
             raise ValidationError(f"check_every must be >= 1, got {check_every}")
+        if block_rows < 0:
+            raise ValidationError(f"block_rows must be >= 0, got {block_rows}")
         check_in_range("densify_threshold", densify_threshold, low=0.0, high=1.0)
+        backend_name = (
+            workspace_backend
+            if isinstance(workspace_backend, str)
+            else workspace_backend.name
+        )
+        if backend_name not in BACKEND_NAMES:
+            raise ValidationError(
+                f"unknown workspace backend {backend_name!r}; "
+                f"known: {', '.join(BACKEND_NAMES)}"
+            )
+        if backend_name != "private" and not reuse_workspace:
+            raise ValidationError(
+                "a shared/memmap workspace backend requires "
+                "reuse_workspace=True (the engine must own the buffers "
+                "to release them)"
+            )
         self.n = int(n)
         self.epsilon = float(epsilon)
-        self.mode = mode if mode != "auto" else ("full" if n <= _FULL_MODE_LIMIT else "probe")
+        if mode != "auto":
+            self.mode = mode
+        else:
+            # The sparse kernel exists to keep the working set (n, p);
+            # auto therefore always probes it.  Dense kernels stay full
+            # up to the historical size limit.
+            self.mode = (
+                "probe"
+                if kernel == "sparse" or n > _FULL_MODE_LIMIT
+                else "full"
+            )
         self.probe_columns = int(min(probe_columns, n))
         self.max_steps = int(max_steps)
         self.min_steps = int(min_steps)
         self.check_every = int(check_every)
         self.densify_threshold = float(densify_threshold)
         self.kernel = kernel
+        self.dtype = dtype
+        self._dtype = np.dtype(dtype)
+        self.block_rows = int(block_rows)
+        self.workspace_backend = workspace_backend
         self.reuse_workspace = bool(reuse_workspace)
         self._rng = as_generator(rng)
         self._workspace: Workspace | None = None
+        self._sparse_workspace: SparseWorkspace | None = None
         #: steps used by each cycle run so far (reset via clear_stats)
         self.cycle_steps: list = []
 
@@ -277,9 +512,13 @@ class SynchronousGossipEngine(CycleEngine):
             If the epsilon criterion is not met in ``max_steps`` (unless
             ``raise_on_budget=False``, which returns the best effort).
         """
+        watch = Stopwatch()
+        phases: Dict[str, float] = {}
         S_csr = coerce_csr(S, self.n)
         v = check_vector("v", v, size=self.n)
+        phases["setup"] = watch.restart()
         exact = np.asarray(S_csr.T @ v).ravel()
+        phases["oracle"] = watch.restart()
         if self.sanitizer is not None:
             self.sanitizer.begin_cycle(self.name)
 
@@ -294,6 +533,10 @@ class SynchronousGossipEngine(CycleEngine):
                 (np.ones(cols.size), (cols, np.arange(cols.size))),
                 shape=(self.n, cols.size),
             )
+        if self._dtype != np.float64:
+            X0 = X0.astype(self._dtype)
+            W0 = W0.astype(self._dtype)
+        phases["setup"] += watch.restart()
 
         B = None
         if self.kernel == "legacy":
@@ -302,10 +545,17 @@ class SynchronousGossipEngine(CycleEngine):
                 np.asarray(W0.todense(), dtype=np.float64),
                 raise_on_budget=raise_on_budget,
             )
+        elif self.kernel == "sparse":
+            steps, converged, B = self._gossip_sparse(
+                X0, W0, raise_on_budget=raise_on_budget, phases=phases
+            )
         else:
             X, W, steps, converged, B = self._gossip_fast(
-                X0, W0, raise_on_budget=raise_on_budget
+                X0, W0, raise_on_budget=raise_on_budget, phases=phases
             )
+        # The dispatch interval covers workspace acquisition too; the
+        # kernels report that share separately as the "alloc" phase.
+        phases["kernel"] = max(0.0, watch.restart() - phases.get("alloc", 0.0))
         self.cycle_steps.append(steps)
 
         if B is None:
@@ -316,11 +566,12 @@ class SynchronousGossipEngine(CycleEngine):
         ) if np.isfinite(B).any() else float("inf")
 
         if self.mode == "full":
-            v_next = col_means
+            v_next = np.asarray(col_means, dtype=np.float64)
             gossip_error = average_relative_error(v_next, exact)
         else:
             gossip_error = average_relative_error(col_means, exact[cols])
             v_next = exact.copy()
+        phases["estimate"] = watch.restart()
 
         return GossipCycleResult(
             v_next=v_next,
@@ -330,6 +581,7 @@ class SynchronousGossipEngine(CycleEngine):
             converged=converged,
             mode=self.mode,
             node_disagreement=disagreement,
+            phase_times=phases,
         )
 
     def clear_stats(self) -> None:
@@ -341,11 +593,34 @@ class SynchronousGossipEngine(CycleEngine):
         """The live :class:`Workspace`, if a fast cycle has run."""
         return self._workspace
 
+    @property
+    def sparse_workspace(self) -> "SparseWorkspace | None":
+        """The live :class:`SparseWorkspace`, if a sparse cycle has run."""
+        return self._sparse_workspace
+
     def invalidate_workspace(self) -> None:
-        """Drop the cached dense buffers (next cycle allocates fresh)."""
+        """Drop the cached kernel buffers (next cycle allocates fresh)."""
         if self._workspace is not None:
             self._workspace.invalidate()
         self._workspace = None
+        if self._sparse_workspace is not None:
+            self._sparse_workspace.invalidate()
+        self._sparse_workspace = None
+
+    def arm_sanitizer(
+        self, sanitizer: Optional[InvariantSanitizer] = None
+    ) -> InvariantSanitizer:
+        """Arm invariant checks; float32 buffers widen the tolerance.
+
+        float32 state accumulates O(steps * eps32) relative
+        conservation drift from pure rounding, so the default 1e-9
+        tolerance would flag correct runs; a fresh sanitizer is then
+        built at 1e-4 instead.  An explicitly passed sanitizer is used
+        as-is.
+        """
+        if sanitizer is None and self._dtype != np.float64:
+            sanitizer = InvariantSanitizer(rel_tol=1e-4)
+        return super().arm_sanitizer(sanitizer)
 
     def _acquire_workspace(self, p: int) -> Workspace:
         """The reusable buffer set for shape ``(n, p)``.
@@ -359,10 +634,34 @@ class SynchronousGossipEngine(CycleEngine):
         if (
             not self.reuse_workspace
             or ws is None
-            or not ws.matches(self.n, p)
+            or not ws.matches(self.n, p, self._dtype)
         ):
-            ws = Workspace(self.n, p)
+            if ws is not None:
+                ws.invalidate()
+            ws = Workspace(
+                self.n, p, self._dtype, make_backend(self.workspace_backend)
+            )
             self._workspace = ws if self.reuse_workspace else None
+        return ws
+
+    def _acquire_sparse_workspace(self, p: int) -> SparseWorkspace:
+        """The reusable CSR pool set for shape ``(n, p)`` (sparse kernel)."""
+        ws = self._sparse_workspace
+        if (
+            not self.reuse_workspace
+            or ws is None
+            or not ws.matches(self.n, p, self._dtype, self.block_rows)
+        ):
+            if ws is not None:
+                ws.invalidate()
+            ws = SparseWorkspace(
+                self.n,
+                p,
+                self._dtype,
+                make_backend(self.workspace_backend),
+                self.block_rows,
+            )
+            self._sparse_workspace = ws if self.reuse_workspace else None
         return ws
 
     # -- internals -----------------------------------------------------------
@@ -398,7 +697,12 @@ class SynchronousGossipEngine(CycleEngine):
     # -- fast kernel -------------------------------------------------------
 
     @staticmethod
-    def _mixing_matrix(targets: np.ndarray, n: int, ids: np.ndarray) -> sparse.csr_matrix:
+    def _mixing_matrix(
+        targets: np.ndarray,
+        n: int,
+        ids: np.ndarray,
+        dtype: "np.dtype | type" = np.float64,
+    ) -> sparse.csr_matrix:
         """Assemble ``M = 0.5 * (I + A)`` directly in CSR form.
 
         Row ``r`` stores the sender columns ``{i : targets[i] == r}`` in
@@ -420,11 +724,16 @@ class SynchronousGossipEngine(CycleEngine):
         indices = np.empty(2 * n, dtype=np.int32)
         indices[indptr[sorted_t] + (ids - seg_origin)] = order
         indices[indptr[1:] - 1] = ids
-        data = np.full(2 * n, 0.5)
+        data = np.full(2 * n, 0.5, dtype=dtype)
         return sparse.csr_matrix((data, indices, indptr), shape=(n, n))
 
     def _gossip_fast(
-        self, Xs: sparse.csr_matrix, Ws: sparse.csr_matrix, *, raise_on_budget: bool
+        self,
+        Xs: sparse.csr_matrix,
+        Ws: sparse.csr_matrix,
+        *,
+        raise_on_budget: bool,
+        phases: Optional[Dict[str, float]] = None,
     ) -> Tuple[np.ndarray, np.ndarray, int, bool, Optional[np.ndarray]]:
         """Step loop over preallocated buffers — no per-step allocations.
 
@@ -443,7 +752,10 @@ class SynchronousGossipEngine(CycleEngine):
         n = self.n
         p = Xs.shape[1]
         k = self.check_every
+        alloc_watch = Stopwatch()
         ws = self._acquire_workspace(p)
+        if phases is not None:
+            phases["alloc"] = phases.get("alloc", 0.0) + alloc_watch.elapsed()
         stream = _TargetStream(self._rng, n, k)
         ids = ws.ids
         step = 0
@@ -460,7 +772,7 @@ class SynchronousGossipEngine(CycleEngine):
         # impossible while W is stored sparse.
         thr = self.densify_threshold * float(n * p)
         while step < self.max_steps and Xs.nnz < thr and Ws.nnz < thr:
-            M = self._mixing_matrix(stream.next(), n, ids)
+            M = self._mixing_matrix(stream.next(), n, ids, Xs.dtype)
             Xs = M @ Xs
             Ws = M @ Ws
             step += 1
@@ -563,6 +875,235 @@ class SynchronousGossipEngine(CycleEngine):
         # At convergence W > 0 everywhere and est holds the estimates of
         # the final state, so run_cycle can skip its estimate pass.
         return X, W, step, converged, (est if converged else None)
+
+    # -- sparse kernel -----------------------------------------------------
+
+    def _gossip_sparse(
+        self,
+        Xs: sparse.csr_matrix,
+        Ws: sparse.csr_matrix,
+        *,
+        raise_on_budget: bool,
+        phases: Optional[Dict[str, float]] = None,
+    ) -> Tuple[int, bool, np.ndarray]:
+        """Step loop with X and W in CSR form for the entire cycle.
+
+        One step is two C-level SpGEMMs (``csr_matmat``) of the pooled
+        mixing matrix against the pooled state, writing into whichever
+        of the three rotating :class:`~repro.gossip.memory.CsrPool`
+        buffers just died — capacity grows geometrically toward the
+        ``n * p`` occupancy ceiling and never per step (the SpGEMM
+        output bound is the closed form ``min(2 * nnz, n * p)``, so no
+        symbolic pass runs).  The estimate/residual check walks the
+        same cadence, block tiling and early-exit/fine-trigger logic as
+        the fast kernel (see :meth:`_sparse_check`), so both kernels
+        consume identical RNG streams and stop on the same step.
+
+        Returns ``(steps, converged, B)`` where ``B`` is the persistent
+        (n, p) estimate buffer — the only dense (n, p) array the cycle
+        touches.
+        """
+        n = self.n
+        p = Xs.shape[1]
+        k = self.check_every
+        alloc_watch = Stopwatch()
+        ws = self._acquire_sparse_workspace(p)
+        if phases is not None:
+            phases["alloc"] = phases.get("alloc", 0.0) + alloc_watch.elapsed()
+        X, W, free = ws.pools
+        X.load(Xs)
+        W.load(Ws)
+        stream = _TargetStream(self._rng, n, k)
+        san = self.sanitizer
+        # Push-sum conservation references (column sums are invariant
+        # under M = 0.5*(I + A), so the totals are too).
+        x_mass = X.sum() if san is not None else 0.0
+        w_mass = W.sum() if san is not None else 0.0
+        full = n * p
+        step = 0
+        converged = False
+        have_prev = False
+        w_allpos = False
+        fine = False  # per-step checks once a residual nears epsilon
+        fine_at = _FINE_FACTOR * self.epsilon
+
+        # hot: sparse step loop — two pooled SpGEMMs, no per-step allocations
+        while step < self.max_steps:
+            step += 1
+            self._fill_mixing(stream.next(), n, ws)
+            self._spgemm_step(ws, X, free)
+            X, free = free, X
+            self._spgemm_step(ws, W, free)
+            W, free = free, W
+
+            if step < self.min_steps or (not fine and step % k):
+                continue
+            if san is not None:
+                san.check_mass("sum(X)", X.sum(), x_mass, step=step)
+                san.check_mass("sum(W)", W.sum(), w_mass, step=step)
+                san.check_nonnegative("W", W.data[: W.nnz], step=step)
+            if not w_allpos:
+                # W's pattern only grows (M carries a full diagonal) and
+                # its values stay positive, so full occupancy is sticky
+                # — the check degrades to one int comparison afterwards.
+                w_allpos = W.nnz == full and W.min() > 0.0
+                if not w_allpos:
+                    continue
+            worst, all_below = self._sparse_check(ws, X, W, have_prev, step)
+            if have_prev:
+                if all_below:
+                    converged = True
+                    break
+                # Close to the finish line: resolve the stop step at
+                # Algorithm 1's per-step granularity (see _gossip_fast).
+                fine = fine or worst <= fine_at
+            have_prev = True
+
+        ws.pools = [X, W, free]
+        if not converged:
+            if raise_on_budget:
+                raise ConvergenceError(
+                    f"gossip cycle exceeded {self.max_steps} steps "
+                    f"(epsilon={self.epsilon})",
+                    steps=self.max_steps,
+                )
+            self._sparse_estimates(ws, X, W)
+        return step, converged, ws.prev
+
+    # hot: per-step CSR layout of M = 0.5*(I + A) into the mixing pools
+    def _fill_mixing(self, targets: np.ndarray, n: int, ws: SparseWorkspace) -> None:
+        """Lay out the step's mixing matrix into the workspace pools.
+
+        Same O(n) bincount + stable-argsort layout as
+        :meth:`_mixing_matrix` — senders ascending, diagonal last — but
+        writing into the preallocated ``m_indptr``/``m_indices`` arrays
+        (``m_data`` is the constant 0.5 vector, filled once; M always
+        has exactly ``2n`` entries).
+        """
+        ids = ws.ids
+        np.cumsum(np.bincount(targets, minlength=n) + 1, out=ws.m_indptr[1:])
+        order = np.argsort(targets, kind="stable")
+        sorted_t = targets[order]
+        starts = np.flatnonzero(
+            np.concatenate(([True], sorted_t[1:] != sorted_t[:-1]))
+        )
+        seg_origin = np.repeat(starts, np.diff(np.append(starts, n)))
+        ws.m_indices[ws.m_indptr[sorted_t] + (ids - seg_origin)] = order
+        ws.m_indices[ws.m_indptr[1:] - 1] = ids
+
+    # hot: one pooled SpGEMM — dst := M @ src, no symbolic pass
+    def _spgemm_step(self, ws: SparseWorkspace, src: CsrPool, dst: CsrPool) -> None:
+        """Multiply the pooled mixing matrix into ``src``, writing ``dst``.
+
+        ``dst`` is grown (geometrically, contents discarded — it holds
+        dead state) to the closed-form output bound
+        ``min(2 * nnz(src), n * p)``: every output row merges the rows
+        of at most ``I + A``'s two entries per column, so total output
+        nnz is at most twice the input's, and a row never exceeds ``p``
+        columns.  Skipping scipy's exact ``csr_matmat_maxnnz`` symbolic
+        pass halves the per-step SpGEMM cost.  Output columns arrive
+        unsorted (SMMP insertion order) — everything downstream gathers
+        through ``csr_todense``, which scatters by index and does not
+        care.
+        """
+        dst.ensure(2 * src.nnz)
+        _csr_matmat(
+            ws.n, ws.p,
+            ws.m_indptr, ws.m_indices, ws.m_data,
+            src.indptr, src.indices, src.data,
+            dst.indptr, dst.indices, dst.data,
+        )
+        dst.nnz = int(dst.indptr[ws.n])
+
+    # hot: CSR row-range gather into a dense workspace tile
+    def _gather_tile(
+        self, ws: SparseWorkspace, pool: CsrPool, lo: int, hi: int, out: np.ndarray
+    ) -> None:
+        """Densify pool rows ``[lo, hi)`` into ``out[: hi - lo]``.
+
+        ``bp`` holds the offset-adjusted indptr slice; ``csr_todense``
+        scatter-adds the row entries into the zeroed tile at C speed.
+        """
+        m = hi - lo
+        np.subtract(pool.indptr[lo : hi + 1], pool.indptr[lo], out=ws.bp[: m + 1])
+        start = int(pool.indptr[lo])
+        end = int(pool.indptr[hi])
+        out[:m].fill(0.0)
+        _csr_todense(
+            m, ws.p, ws.bp[: m + 1],
+            pool.indices[start:end], pool.data[start:end],
+            out[:m].ravel(),
+        )
+
+    # hot: blocked estimate/residual pass over CSR row gathers
+    def _sparse_check(
+        self,
+        ws: SparseWorkspace,
+        X: CsrPool,
+        W: CsrPool,
+        have_prev: bool,
+        step: int,
+    ) -> Tuple[float, bool]:
+        """One convergence check: estimates into ``prev``, residual out.
+
+        Mirrors the fast kernel's blocked residual scan exactly — same
+        tile size, same ``_REL_FLOOR`` guard, and the same early-exit
+        semantics: once a tile's residual exceeds epsilon the scan stops
+        *comparing* (``worst`` freezes at the fast kernel's break-point
+        value, keeping the fine-trigger decision identical) but keeps
+        gathering, because ``prev`` must hold this check's complete
+        estimates for the next comparison.  Returns
+        ``(worst, all_below)``; ``all_below`` can only be True when
+        ``have_prev`` was.
+        """
+        n = ws.n
+        blk = ws.blk
+        prev = ws.prev
+        san = self.sanitizer
+        eps = self.epsilon
+        worst = 0.0
+        all_below = have_prev
+        scanning = have_prev
+        for lo in range(0, n, blk):
+            hi = min(lo + blk, n)
+            m = hi - lo
+            self._gather_tile(ws, X, lo, hi, ws.xt)
+            self._gather_tile(ws, W, lo, hi, ws.wt)
+            np.divide(ws.xt[:m], ws.wt[:m], out=ws.xt[:m])
+            if san is not None:
+                san.check_finite("estimates x/w", ws.xt[:m], step=step)
+            if scanning:
+                np.subtract(ws.xt[:m], prev[lo:hi], out=ws.num[:m])
+                np.abs(ws.num[:m], out=ws.num[:m])
+                np.maximum(prev[lo:hi], _REL_FLOOR, out=ws.den[:m])
+                ws.num[:m] /= ws.den[:m]
+                worst = max(worst, float(ws.num[:m].max()))
+                if worst > eps:
+                    all_below = False
+                    scanning = False
+            prev[lo:hi] = ws.xt[:m]
+        return worst, all_below
+
+    def _sparse_estimates(self, ws: SparseWorkspace, X: CsrPool, W: CsrPool) -> None:
+        """Guarded estimates into ``prev`` (budget-exhaustion path).
+
+        Outside the hot loop: runs once when the step budget runs out
+        before W is positive everywhere, so NaN-masking temporaries are
+        acceptable here.
+        """
+        n = ws.n
+        blk = ws.blk
+        for lo in range(0, n, blk):
+            hi = min(lo + blk, n)
+            m = hi - lo
+            self._gather_tile(ws, X, lo, hi, ws.xt)
+            self._gather_tile(ws, W, lo, hi, ws.wt)
+            xt = ws.xt[:m]
+            wt = ws.wt[:m]
+            with np.errstate(divide="ignore", invalid="ignore"):
+                np.divide(xt, wt, out=xt)
+            xt[wt <= 0.0] = np.nan
+            ws.prev[lo:hi] = xt
 
     # -- legacy kernel -----------------------------------------------------
 

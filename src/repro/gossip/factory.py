@@ -199,6 +199,9 @@ def _build_sync(
         max_steps=config.max_gossip_steps,
         check_every=config.check_every,
         densify_threshold=config.densify_threshold,
+        kernel=getattr(config, "kernel", "fast"),
+        dtype=getattr(config, "dtype", "float64"),
+        block_rows=getattr(config, "block_rows", 0),
         rng=streams.get("gossip"),
     )
     kwargs.update(constructor_kwargs(SynchronousGossipEngine, overrides))

@@ -19,7 +19,7 @@ Two ways to feed it:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, Iterator, List
 
 from repro.metrics.reporting import TextTable, percentile
@@ -85,6 +85,9 @@ class CycleRecord:
     wall_time: float
     #: process peak RSS when the cycle was recorded (KiB; 0 if unknown)
     peak_rss_kib: float = 0.0
+    #: wall-clock seconds per cycle phase (``setup``/``oracle``/``alloc``/
+    #: ``kernel``/``estimate``); empty for engines without a breakdown
+    phases: Dict[str, float] = field(default_factory=dict)
 
 
 class CycleTelemetry:
@@ -109,6 +112,7 @@ class CycleTelemetry:
             mode=str(result.mode),
             wall_time=float(wall_time),
             peak_rss_kib=_peak_rss_kib(),
+            phases=dict(getattr(result, "phase_times", {}) or {}),
         )
         self.records.append(rec)
         return rec
@@ -168,10 +172,25 @@ class CycleTelemetry:
             "peak_rss_kib": max(r.peak_rss_kib for r in recs),
         }
 
+    def phase_summary(self) -> Dict[str, float]:
+        """Total seconds per cycle phase over the recorded cycles.
+
+        Sums the per-cycle ``phases`` breakdowns (``setup``/``oracle``/
+        ``alloc``/``kernel``/``estimate``) so a bench or experiment can
+        explain *where* its wall time went — e.g. whether a
+        workspace-reuse change moved the ``alloc`` share.  Empty when
+        no recorded cycle carried a breakdown.
+        """
+        totals: Dict[str, float] = {}
+        for rec in self.records:
+            for name, seconds in rec.phases.items():
+                totals[name] = totals.get(name, 0.0) + float(seconds)
+        return totals
+
     def summary_line(self) -> str:
         """One-line cost summary for experiment notes / CLI output."""
         s = self.summary()
-        return (
+        line = (
             f"telemetry: {s['cycles']} cycles, {s['total_steps']} steps, "
             f"{s['messages_sent']} msgs sent ({s['messages_dropped']} dropped), "
             f"max mass lost {s['max_mass_lost_fraction']:.3g}, "
@@ -179,6 +198,11 @@ class CycleTelemetry:
             f"(p50 {s['wall_time_p50']:.3f}s, p90 {s['wall_time_p90']:.3f}s, "
             f"max {s['wall_time_max']:.3f}s), peak rss {s['peak_rss_kib']:.0f} KiB"
         )
+        phases = self.phase_summary()
+        if phases:
+            parts = ", ".join(f"{k} {v:.3f}s" for k, v in sorted(phases.items()))
+            line += f" [phases: {parts}]"
+        return line
 
     def render(self) -> str:
         """Per-cycle table rendering."""

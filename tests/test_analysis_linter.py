@@ -226,9 +226,19 @@ class TestGT002:
         assert lint_snippet(self.rule, text) == []
 
     def test_repo_hot_regions_are_clean(self):
-        for rel in ("src/repro/gossip/engine.py", "src/repro/gossip/vector.py"):
+        # Minimum marker counts pin the kernels' coverage: engine.py
+        # carries the fast kernel's step loop plus the sparse kernel's
+        # five regions (step loop, mixing fill, SpGEMM, tile gather,
+        # blocked check); vector.py its two merge/fill loops.
+        for rel, floor in (
+            ("src/repro/gossip/engine.py", 6),
+            ("src/repro/gossip/vector.py", 2),
+        ):
             src = SourceFile.read(str(REPO / rel))
-            assert hot_regions(src), f"{rel} lost its # hot: markers"
+            regions = hot_regions(src)
+            assert len(regions) >= floor, (
+                f"{rel} lost # hot: markers ({len(regions)} < {floor})"
+            )
             assert lint_sources([src], [self.rule]) == []
 
 

@@ -46,6 +46,19 @@ class TestParser:
         )
         assert dict(args.overrides) == {"n": 100, "repeats": 1}
 
+    def test_kernel_and_dtype_flags(self):
+        args = build_parser().parse_args(
+            ["run", "fig3", "--kernel", "sparse", "--dtype", "float32"]
+        )
+        assert args.kernel == "sparse"
+        assert args.dtype == "float32"
+
+    def test_kernel_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig3", "--kernel", "warp"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig3", "--dtype", "float16"])
+
 
 class TestMain:
     def test_list_command(self, capsys):
@@ -66,3 +79,9 @@ class TestMain:
         )
         assert code == 0
         assert "Bloom" in capsys.readouterr().out
+
+    def test_run_fig3_sparse_kernel(self, capsys):
+        """--kernel/--dtype forward into the experiment as overrides."""
+        code = main(["run", "fig3", "--quick", "--kernel", "sparse"])
+        assert code == 0
+        assert capsys.readouterr().out

@@ -42,11 +42,26 @@ class TestValidation:
             {"check_every": 0},
             {"densify_threshold": -0.1},
             {"densify_threshold": 1.1},
+            {"kernel": "warp"},
+            {"dtype": "float16"},
+            {"kernel": "legacy", "dtype": "float32"},
+            {"block_rows": -1},
         ],
     )
     def test_rejects_bad_values(self, kwargs):
         with pytest.raises(ConfigurationError):
             GossipTrustConfig(**kwargs)
+
+    def test_kernel_and_dtype_defaults(self):
+        cfg = GossipTrustConfig()
+        assert cfg.kernel == "fast"
+        assert cfg.dtype == "float64"
+        assert cfg.block_rows == 0
+
+    def test_sparse_float32_accepted(self):
+        cfg = GossipTrustConfig(kernel="sparse", dtype="float32", block_rows=128)
+        assert cfg.kernel == "sparse"
+        assert cfg.block_rows == 128
 
 
 class TestUpdates:

@@ -166,6 +166,27 @@ class TestTelemetry:
         tel.clear()
         assert len(tel) == 0
 
+    def test_phase_breakdown_recorded_and_summed(self, random_S):
+        """Sync cycles carry a phase breakdown; phase_summary totals it."""
+        tel = CycleTelemetry()
+        cfg = GossipTrustConfig(n=random_S.n, seed=3)
+        GossipTrust(random_S, cfg).run(telemetry=tel)
+        assert all("kernel" in r.phases for r in tel)
+        phases = tel.phase_summary()
+        assert set(phases) >= {"setup", "oracle", "kernel"}
+        for name, total in phases.items():
+            assert total >= 0.0
+            assert total == pytest.approx(
+                sum(r.phases.get(name, 0.0) for r in tel)
+            )
+        assert "[phases:" in tel.summary_line()
+
+    def test_phase_summary_empty_without_breakdowns(self):
+        tel = CycleTelemetry()
+        assert tel.phase_summary() == {}
+        assert "[phases:" not in tel.summary_line()
+
+
     def test_summary_percentiles_and_rss(self, random_S):
         tel = CycleTelemetry()
         cfg = GossipTrustConfig(n=random_S.n, seed=3)
@@ -188,3 +209,32 @@ class TestTelemetry:
         assert summary["wall_time_p90"] == 0.0
         assert summary["wall_time_max"] == 0.0
         assert summary["peak_rss_kib"] == 0.0
+
+
+class TestConfigKernelFields:
+    """config.kernel / dtype / block_rows flow through the factory."""
+
+    def test_factory_forwards_kernel_fields(self):
+        cfg = GossipTrustConfig(
+            n=64, kernel="sparse", dtype="float32", block_rows=16, seed=0
+        )
+        eng = make_engine("sync", cfg, rng=RngStreams(0))
+        assert eng.kernel == "sparse"
+        assert eng.dtype == "float32"
+        assert eng.block_rows == 16
+
+    def test_sparse_config_runs_end_to_end(self, random_S):
+        # Pin probe mode: sparse auto-selects it, fast at small n would
+        # default to full mode (a different — equally valid — trajectory).
+        cfg = GossipTrustConfig(
+            n=random_S.n, kernel="sparse", engine_mode="probe", seed=2
+        )
+        base_cfg = GossipTrustConfig(
+            n=random_S.n, kernel="fast", engine_mode="probe", seed=2
+        )
+        sparse_run = GossipTrust(random_S, cfg).run(compute_reference=False)
+        fast_run = GossipTrust(random_S, base_cfg).run(compute_reference=False)
+        assert sparse_run.converged
+        np.testing.assert_allclose(
+            sparse_run.vector, fast_run.vector, rtol=0, atol=1e-12
+        )

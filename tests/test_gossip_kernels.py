@@ -6,12 +6,18 @@ check cadence, sparse warm-start) and the legacy kernel (per-step
 chain) consume the same partner RNG stream, so on a seeded instance
 they must walk the same mixing-matrix sequence: identical step counts,
 matching results up to floating-point accumulation order.
+
+The memory-bounded sparse kernel (``kernel="sparse"`` — CSR state for
+the whole cycle, pooled SpGEMMs, blocked estimate gathers) consumes the
+*same* stream and cadence again, so the identical contract extends to
+it: same step counts as the fast kernel, scores to round-off, in every
+mode, with any workspace backend, reused or fresh.
 """
 
 import numpy as np
 import pytest
 
-from repro.errors import ConvergenceError, ValidationError
+from repro.errors import ConfigurationError, ConvergenceError, ValidationError
 from repro.experiments.synthetic import synthetic_trust_matrix
 from repro.gossip.base import exact_aggregate, local_rows
 from repro.gossip.engine import SynchronousGossipEngine
@@ -219,3 +225,175 @@ class TestWorkspaceReuse:
         )
         eng.run_cycle(S, v)
         assert eng.workspace is None
+
+
+class TestSparseKernel:
+    """``kernel="sparse"`` must be an exact replay of the fast kernel."""
+
+    @pytest.mark.parametrize("n", [250, 1000])
+    @pytest.mark.parametrize("mode", ["probe", "full"])
+    def test_parity_with_fast(self, n, mode):
+        """Same stream, same cadence -> same stop step, same scores."""
+        S, v = _instance(n)
+        fast = _cycle(n, S, v, mode=mode, kernel="fast")
+        sparse_r = _cycle(n, S, v, mode=mode, kernel="sparse")
+        assert sparse_r.steps == fast.steps
+        assert sparse_r.converged and fast.converged
+        np.testing.assert_allclose(sparse_r.v_next, fast.v_next, rtol=0, atol=1e-12)
+        assert sparse_r.gossip_error == pytest.approx(fast.gossip_error, rel=1e-9)
+
+    def test_block_rows_is_result_invariant(self):
+        """The cache-block size only tiles the estimate pass — any value
+        lands on bit-identical results."""
+        S, v = _instance(250)
+        base = _cycle(250, S, v, mode="probe", kernel="sparse")
+        for block_rows in (7, 64, 250):
+            blocked = _cycle(
+                250, S, v, mode="probe", kernel="sparse", block_rows=block_rows
+            )
+            assert blocked.steps == base.steps
+            np.testing.assert_array_equal(blocked.v_next, base.v_next)
+
+    def test_float32_tracks_float64(self):
+        """float32 buffers converge to the float64 answer within the
+        documented accumulation bound (~steps * eps32 relative, orders
+        of magnitude below the epsilon target)."""
+        S, v = _instance(250)
+        r64 = _cycle(250, S, v, mode="full", kernel="sparse", dtype="float64")
+        r32 = _cycle(250, S, v, mode="full", kernel="sparse", dtype="float32")
+        assert r64.converged and r32.converged
+        np.testing.assert_allclose(r32.v_next, r64.v_next, rtol=1e-3)
+        assert abs(r32.steps - r64.steps) <= 8  # residuals may flip a check
+
+    def test_float32_fast_kernel_too(self):
+        """The dtype option applies to the dense fast kernel as well."""
+        S, v = _instance(250)
+        r64 = _cycle(250, S, v, mode="full", kernel="fast", dtype="float64")
+        r32 = _cycle(250, S, v, mode="full", kernel="fast", dtype="float32")
+        assert r64.converged and r32.converged
+        np.testing.assert_allclose(r32.v_next, r64.v_next, rtol=1e-3)
+
+    @pytest.mark.parametrize("mode", ["probe", "full"])
+    def test_warm_start_invariance(self, mode):
+        """Reusing the sparse workspace across cycles equals fresh
+        buffers, cycle by cycle (the pools carry no state between
+        cycles beyond their capacity)."""
+        S, v = _instance(N)
+        reuse = make_engine(
+            "sync", n=N, rng=RngStreams(SEED), epsilon=EPSILON,
+            mode=mode, kernel="sparse", reuse_workspace=True,
+        )
+        fresh = make_engine(
+            "sync", n=N, rng=RngStreams(SEED), epsilon=EPSILON,
+            mode=mode, kernel="sparse", reuse_workspace=False,
+        )
+        vr, vf = v.copy(), v.copy()
+        for _ in range(3):
+            rr = reuse.run_cycle(S, vr)
+            rf = fresh.run_cycle(S, vf)
+            assert rr.steps == rf.steps
+            np.testing.assert_array_equal(rr.v_next, rf.v_next)
+            assert rr.gossip_error == rf.gossip_error
+            vr = rr.v_next / rr.v_next.sum()
+            vf = rf.v_next / rf.v_next.sum()
+
+    def test_sparse_workspace_lifecycle(self):
+        S, v = _instance(N)
+        eng = make_engine(
+            "sync", n=N, rng=RngStreams(SEED), epsilon=EPSILON, kernel="sparse",
+        )
+        assert eng.sparse_workspace is None
+        eng.run_cycle(S, v)
+        ws = eng.sparse_workspace
+        assert ws is not None and ws.valid
+        eng.run_cycle(S, v)
+        assert eng.sparse_workspace is ws  # survived across cycles
+        eng.invalidate_workspace()
+        assert not ws.valid
+        assert eng.sparse_workspace is None
+
+    @pytest.mark.parametrize("backend", ["shared", "memmap"])
+    def test_workspace_backends_agree(self, backend):
+        """Shared-memory and memmap workspaces are invisible in results."""
+        S, v = _instance(N)
+        base = _cycle(N, S, v, mode="probe", kernel="sparse")
+        eng = make_engine(
+            "sync", n=N, rng=RngStreams(SEED), epsilon=EPSILON,
+            mode="probe", kernel="sparse", workspace_backend=backend,
+        )
+        res = eng.run_cycle(S, v)
+        assert res.steps == base.steps
+        np.testing.assert_array_equal(res.v_next, base.v_next)
+        eng.invalidate_workspace()  # releases segments / spill files
+
+    def test_sanitizer_armed_cycle(self):
+        """The armed-sanitizer contract (the REPRO_SANITIZE=1 posture)
+        holds through the sparse kernel: every mass/nonnegativity check
+        fires and the result is unchanged."""
+        S, v = _instance(N)
+        base = _cycle(N, S, v, mode="probe", kernel="sparse")
+        eng = make_engine(
+            "sync", n=N, rng=RngStreams(SEED), epsilon=EPSILON,
+            mode="probe", kernel="sparse",
+        )
+        eng.arm_sanitizer()
+        assert eng.sanitizer is not None
+        res = eng.run_cycle(S, v)
+        assert res.steps == base.steps
+        np.testing.assert_array_equal(res.v_next, base.v_next)
+        assert eng.sanitizer.checks > 0
+
+    def test_float32_widens_armed_sanitizer(self):
+        """float32 accumulation drift would trip the 1e-9 default; the
+        engine arms a widened sanitizer instead."""
+        eng = make_engine(
+            "sync", n=N, rng=RngStreams(SEED), epsilon=EPSILON,
+            kernel="sparse", dtype="float32",
+        )
+        eng.arm_sanitizer()
+        assert eng.sanitizer.rel_tol == pytest.approx(1e-4)
+        S, v = _instance(N)
+        res = eng.run_cycle(S, v)
+        assert res.converged
+
+    def test_budget_best_effort(self):
+        S, v = _instance(N)
+        eng = make_engine(
+            "sync", n=N, rng=RngStreams(SEED), epsilon=EPSILON,
+            mode="probe", kernel="sparse", max_steps=3,
+        )
+        res = eng.run_cycle(S, v, raise_on_budget=False)
+        assert not res.converged
+        assert res.steps == 3
+        assert np.all(np.isfinite(res.v_next))  # probe substitutes the oracle
+
+    def test_budget_exhaustion_raises(self):
+        S, v = _instance(N)
+        eng = make_engine(
+            "sync", n=N, rng=RngStreams(SEED), epsilon=EPSILON,
+            mode="probe", kernel="sparse", max_steps=3,
+        )
+        with pytest.raises(ConvergenceError):
+            eng.run_cycle(S, v)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            SynchronousGossipEngine(8, dtype="float16")
+        with pytest.raises(ValidationError):
+            SynchronousGossipEngine(8, kernel="legacy", dtype="float32")
+        with pytest.raises(ValidationError):
+            SynchronousGossipEngine(8, block_rows=-1)
+        with pytest.raises((ConfigurationError, ValidationError)):
+            SynchronousGossipEngine(8, workspace_backend="bogus")
+        with pytest.raises(ValidationError):
+            # non-private buffers without reuse would leak per cycle
+            SynchronousGossipEngine(
+                8, kernel="sparse", workspace_backend="shared",
+                reuse_workspace=False,
+            )
+
+    def test_phase_times_recorded(self):
+        S, v = _instance(N)
+        res = _cycle(N, S, v, mode="probe", kernel="sparse")
+        assert set(res.phase_times) >= {"setup", "oracle", "alloc", "kernel"}
+        assert all(t >= 0.0 for t in res.phase_times.values())

@@ -35,10 +35,28 @@ provenance: ``--label`` and ``--commit`` are recorded verbatim (both
 passed in, never read from a clock or ``git`` here, so runs stay
 deterministic and offline-friendly).
 
+Since schema 4:
+
+* every entry's ``peak_rss_kib`` is *per-entry* (a
+  :class:`~repro.utils.proc.PeakRssMeter` resets the kernel RSS
+  high-water mark around each measurement instead of reporting the
+  monotone process-lifetime peak for every cell);
+* per-cycle entries and the end-to-end runs carry a ``phases``
+  breakdown (``setup``/``oracle``/``alloc``/``kernel``/``estimate``
+  seconds) so the artifact explains *where* wall time goes — e.g. how
+  much of a cycle the workspace alloc actually costs;
+* a ``large_n`` section runs the memory-bounded ``kernel="sparse"``
+  probe path at n in {10^4, 10^5} (quick mode: 10^4 only) in both
+  float64 and float32, recording wall time and per-point peak RSS
+  against explicit per-n budgets (``within_rss_budget`` /
+  ``within_wall_budget``) plus the float32-vs-float64 score deviation.
+  ``--large-only`` runs just this tier and exits non-zero when a
+  budget is blown (the ``make bench-large`` gate).
+
 Usage::
 
-    PYTHONPATH=src python tools/bench_runner.py [--quick] [--output PATH]
-        [--label TEXT] [--commit SHA]
+    PYTHONPATH=src python tools/bench_runner.py [--quick] [--large-only]
+        [--output PATH] [--label TEXT] [--commit SHA]
 """
 
 from __future__ import annotations
@@ -63,7 +81,7 @@ from repro.experiments.runner import SweepPoint, run_sweep  # noqa: E402
 from repro.experiments.synthetic import synthetic_trust_matrix  # noqa: E402
 from repro.gossip.factory import make_engine  # noqa: E402
 from repro.service import ServeSimConfig, simulate_service  # noqa: E402
-from repro.utils.proc import peak_rss_kib  # noqa: E402
+from repro.utils.proc import PeakRssMeter  # noqa: E402
 from repro.utils.rng import RngStreams  # noqa: E402
 
 SEED = 0
@@ -87,6 +105,15 @@ SERVICE_N_QUICK = 250
 #: measured ingest/query/aggregate epochs in the service section
 SERVICE_EPOCHS = 4
 SERVICE_EPOCHS_QUICK = 2
+#: large-n sparse-kernel tier (quick mode runs the first point only)
+LARGE_N_SWEEP = (10_000, 100_000)
+#: per-n budgets for the large tier: peak RSS (KiB) and wall time (s).
+#: The 10^5 RSS budget is the ISSUE acceptance line (2 GiB); wall
+#: budgets are ~4x the observed single-core times, loose enough for CI.
+LARGE_N_BUDGETS = {
+    10_000: {"rss_kib": 1 * 1024 * 1024, "wall_s": 60.0},
+    100_000: {"rss_kib": 2 * 1024 * 1024, "wall_s": 300.0},
+}
 
 
 def bench_cell(engine: str, n: int, repeats: int, **overrides) -> dict:
@@ -95,6 +122,8 @@ def bench_cell(engine: str, n: int, repeats: int, **overrides) -> dict:
     v = np.full(n, 1.0 / n)
     times = []
     steps = converged = None
+    phases = {}
+    meter = PeakRssMeter()  # per-entry peak: reset *after* building S
     for _ in range(repeats):
         eng = make_engine(
             engine, n=n, rng=RngStreams(SEED), epsilon=EPSILON, **overrides
@@ -103,6 +132,10 @@ def bench_cell(engine: str, n: int, repeats: int, **overrides) -> dict:
         result = eng.run_cycle(S, v)
         times.append(time.perf_counter() - t0)
         steps, converged = int(result.steps), bool(result.converged)
+        phases = {
+            k: round(float(s), 6)
+            for k, s in (getattr(result, "phase_times", {}) or {}).items()
+        }
     return {
         "engine": engine,
         "n": n,
@@ -110,7 +143,9 @@ def bench_cell(engine: str, n: int, repeats: int, **overrides) -> dict:
         "wall_times_s": [round(t, 6) for t in times],
         "steps": steps,
         "converged": converged,
-        "peak_rss_kib": peak_rss_kib(),
+        "peak_rss_kib": meter.read_kib(),
+        "peak_rss_per_entry": meter.exact,
+        "phases": phases,
         "options": overrides,
     }
 
@@ -136,11 +171,19 @@ def bench_full_runs(n: int, repeats: int) -> list:
     def once(reuse: bool) -> float:
         eng = make_engine("sync", cfg, rng=RngStreams(SEED), reuse_workspace=reuse)
         system = GossipTrust(S, cfg, engine=eng)
+        meter = PeakRssMeter()
         t0 = time.perf_counter()
         result = system.run(raise_on_budget=False, compute_reference=False)
         elapsed = time.perf_counter() - t0
-        cells[reuse]["cycles"] = int(result.cycles)
-        cells[reuse]["total_gossip_steps"] = int(result.total_gossip_steps)
+        cell = cells[reuse]
+        cell["cycles"] = int(result.cycles)
+        cell["total_gossip_steps"] = int(result.total_gossip_steps)
+        cell["peak_rss_kib"] = max(cell.get("peak_rss_kib", 0.0), meter.read_kib())
+        # Where the run's wall time went (summed over its cycles) — this
+        # is what pins the reuse-vs-fresh gap to the alloc share.
+        cell["phases"] = {
+            k: round(s, 6) for k, s in result.telemetry.phase_summary().items()
+        }
         return elapsed
 
     once(True)  # warm caches outside the measured repeats
@@ -150,7 +193,6 @@ def bench_full_runs(n: int, repeats: int) -> list:
     for cell in cells.values():
         times = cell["wall_times_s"]
         cell["wall_time_s"] = sorted(times)[len(times) // 2]
-        cell["peak_rss_kib"] = peak_rss_kib()
     return [cells[True], cells[False]]
 
 
@@ -289,7 +331,98 @@ def run_service(quick: bool) -> dict:
     }
 
 
-def run(quick: bool, *, label: str = "", commit: str = "") -> dict:
+def run_large_n(quick: bool) -> dict:
+    """The schema-4 section: the memory-bounded sparse kernel at large n.
+
+    One converged probe-mode cycle per (n, dtype) on the pinned
+    synthetic matrix, ``kernel="sparse"`` with workspace reuse on —
+    the configuration the ISSUE acceptance line budgets (n = 10^5
+    within 2 GiB peak RSS).  Peak RSS is metered per point, with the
+    meter started *after* the trust matrix is built so the reading is
+    the kernel's own working set on top of the resident baseline.
+    float32 points also record their score deviation against the
+    float64 run at the same n (probe mode substitutes the exact oracle
+    column, so this is ~0 by construction; the per-point
+    ``gossip_error`` is what carries the dtype's estimate quality).
+    """
+    tiers = LARGE_N_SWEEP[:1] if quick else LARGE_N_SWEEP
+    points = []
+    for n in tiers:
+        budget = LARGE_N_BUDGETS[n]
+        S = synthetic_trust_matrix(n, rng=RngStreams(SEED).get("matrix"))
+        v = np.full(n, 1.0 / n)
+        v64 = None
+        for dtype in ("float64", "float32"):
+            eng = make_engine(
+                "sync",
+                n=n,
+                rng=RngStreams(SEED),
+                epsilon=EPSILON,
+                mode="probe",
+                kernel="sparse",
+                dtype=dtype,
+            )
+            meter = PeakRssMeter()
+            t0 = time.perf_counter()
+            result = eng.run_cycle(S, v)
+            wall = time.perf_counter() - t0
+            rss = meter.read_kib()
+            point = {
+                "n": n,
+                "kernel": "sparse",
+                "mode": "probe",
+                "dtype": dtype,
+                "wall_time_s": round(wall, 6),
+                "steps": int(result.steps),
+                "converged": bool(result.converged),
+                "gossip_error": float(result.gossip_error),
+                "nnz": int(S.nnz),
+                "peak_rss_kib": rss,
+                "peak_rss_per_entry": meter.exact,
+                "rss_budget_kib": budget["rss_kib"],
+                "wall_budget_s": budget["wall_s"],
+                "within_rss_budget": bool(rss <= budget["rss_kib"]),
+                "within_wall_budget": bool(wall <= budget["wall_s"]),
+                "phases": {
+                    k: round(float(s), 6)
+                    for k, s in (getattr(result, "phase_times", {}) or {}).items()
+                },
+            }
+            if dtype == "float64":
+                v64 = np.asarray(result.v_next, dtype=np.float64)
+            elif v64 is not None:
+                dev = float(np.max(np.abs(np.asarray(result.v_next) - v64)))
+                point["max_abs_dev_vs_float64"] = dev
+            points.append(point)
+            print(
+                f"{'large-n sparse dtype=' + dtype:55s} n={n:6d}  "
+                f"{wall:8.3f}s  steps={point['steps']}  "
+                f"rss={rss / 1024:.0f} MiB (budget {budget['rss_kib'] / 1024:.0f})"
+            )
+    return {
+        "tiers": list(tiers),
+        "budgets": {str(n): LARGE_N_BUDGETS[n] for n in tiers},
+        "points": points,
+        "all_within_budget": all(
+            p["within_rss_budget"] and p["within_wall_budget"] for p in points
+        ),
+    }
+
+
+def run(quick: bool, *, label: str = "", commit: str = "", large_only: bool = False) -> dict:
+    if large_only:
+        return {
+            "schema": 4,
+            "quick": quick,
+            "large_only": True,
+            "seed": SEED,
+            "epsilon": EPSILON,
+            "label": label,
+            "commit": commit,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "large_n": run_large_n(quick),
+        }
     repeats = 1 if quick else 3
     entries = []
     for n in N_SWEEP:
@@ -311,7 +444,7 @@ def run(quick: bool, *, label: str = "", commit: str = "") -> dict:
             )
             entries.append(cell)
     return {
-        "schema": 3,
+        "schema": 4,
         "quick": quick,
         "seed": SEED,
         "epsilon": EPSILON,
@@ -324,6 +457,7 @@ def run(quick: bool, *, label: str = "", commit: str = "") -> dict:
         "entries": entries,
         "end_to_end": run_end_to_end(quick),
         "service": run_service(quick),
+        "large_n": run_large_n(quick),
     }
 
 
@@ -331,6 +465,12 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--quick", action="store_true", help="1 repeat per cell (CI smoke mode)"
+    )
+    parser.add_argument(
+        "--large-only",
+        action="store_true",
+        help="run only the large-n sparse-kernel tier; exit non-zero when a "
+        "wall-time or peak-RSS budget is blown (the `make bench-large` gate)",
     )
     parser.add_argument(
         "--output",
@@ -351,9 +491,17 @@ def main(argv=None) -> int:
         "from the caller; the runner never shells out to git itself)",
     )
     args = parser.parse_args(argv)
-    payload = run(quick=args.quick, label=args.label, commit=args.commit)
+    payload = run(
+        quick=args.quick,
+        label=args.label,
+        commit=args.commit,
+        large_only=args.large_only,
+    )
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.output}")
+    if args.large_only and not payload["large_n"]["all_within_budget"]:
+        print("large-n budget blown", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -47,10 +47,21 @@ lines += [
     "that govern gossip-cycle cost:",
     "",
     "- **`kernel`** — `\"fast\"` (default): allocation-free scatter-add",
-    "  steps over preallocated buffers via `csr_matvecs`; `\"legacy\"`:",
-    "  the reference per-step `csr_matrix` construction. Both consume",
-    "  the same partner stream and stop on the same step at",
-    "  `check_every=1`.",
+    "  steps over preallocated buffers via `csr_matvecs`; `\"sparse\"`:",
+    "  the memory-bounded large-n path — X and W stay CSR for the whole",
+    "  cycle in geometrically-grown `CsrPool`s, stepped by pooled",
+    "  `csr_matmat` SpGEMMs with blocked `csr_todense` estimate gathers;",
+    "  `\"legacy\"`: the reference per-step `csr_matrix` construction.",
+    "  All consume the same partner stream and stop on the same step.",
+    "- **`dtype`** — `\"float64\"` (default) or `\"float32\"` (halves",
+    "  workspace memory; estimate drift stays orders below epsilon, and",
+    "  an armed sanitizer widens its conservation tolerance to 1e-4).",
+    "- **`block_rows`** — rows per estimate/residual tile in the sparse",
+    "  kernel (default 0 = a ~128 KiB cache block). Result-invariant.",
+    "- **`workspace_backend`** — `\"private\"` heap buffers (default),",
+    "  `\"shared\"` POSIX shared-memory segments, or `\"memmap\"`",
+    "  file-backed maps (`repro.gossip.memory`; non-private backends",
+    "  require `reuse_workspace=True`).",
     "- **`check_every`** — convergence-check cadence (default 8). Coarse",
     "  checks skip the expensive residual scan; once the residual is",
     "  within `8x epsilon` the fast kernel switches to per-step checks,",
@@ -82,12 +93,16 @@ lines += [
     "worker count (`--workers` on the CLI).",
     "",
     "Run `PYTHONPATH=src python tools/bench_runner.py` to regenerate the",
-    "tracked benchmark trajectory in `BENCH_engines.json` (schema 2:",
-    "per-cycle engine grid plus end-to-end `GossipTrust.run` and",
-    "sweep-throughput sections), or `pytest benchmarks/bench_engines.py`",
-    "for the asserting comparisons (fast >= 3x legacy at n = 1000,",
-    "workspace reuse at least break-even, parallel sweep faster than",
-    "serial on multi-core boxes).",
+    "tracked benchmark trajectory in `BENCH_engines.json` (schema 4:",
+    "per-cycle engine grid with per-entry peak RSS and phase breakdowns,",
+    "end-to-end `GossipTrust.run` and sweep-throughput sections, the",
+    "service closed loop, and the `large_n` sparse-kernel tier with",
+    "per-point RSS/wall budgets — `make bench-large` runs just that tier",
+    "and fails when a budget is blown), or",
+    "`pytest benchmarks/bench_engines.py` for the asserting comparisons",
+    "(fast >= 3x legacy at n = 1000, sparse/fast step-and-score parity,",
+    "the sparse RSS budget at n = 10^4, workspace reuse at least",
+    "break-even, parallel sweep faster than serial on multi-core boxes).",
     "",
 ]
 import os
