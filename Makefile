@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint analyze typecheck ci bench bench-smoke bench-large service-smoke sweep examples experiments docs clean
+.PHONY: install test lint analyze typecheck ci bench bench-smoke bench-large bench-xlarge service-smoke sweep examples experiments docs clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -51,6 +51,14 @@ bench-smoke:
 # memory-regression gate (full tier incl. n=10^5: drop --quick).
 bench-large:
 	PYTHONPATH=src $(PYTHON) tools/bench_runner.py --quick --large-only --output BENCH_large.quick.json
+
+# Opt-in n=10^6 point on top of the full large-n tier: streaming matrix
+# construction (~2*10^7 edges) plus one converged sharded sparse-kernel
+# probe cycle per dtype, gated on 3 GiB (float64) / 2 GiB (float32)
+# peak-RSS budgets.  Minutes of single-core SpGEMM — never part of
+# `make ci`; run it to refresh the recorded trajectory point.
+bench-xlarge:
+	PYTHONPATH=src $(PYTHON) tools/bench_runner.py --large-only --xlarge --output BENCH_xlarge.json
 
 # Long-lived service soak: ingest -> incremental aggregation -> Bloom
 # serving, with the runtime invariant sanitizer armed so every

@@ -102,6 +102,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--set dtype=NAME; float32 halves workspace memory)",
     )
     run_p.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="K",
+        help="sparse-kernel column shard count (shorthand for "
+        "--set shards=K; results are shard-count invariant)",
+    )
+    run_p.add_argument(
+        "--shard-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes stepping sparse-kernel shards "
+        "(shorthand for --set shard_workers=N; needs "
+        "--set workspace_backend=shared or =memmap)",
+    )
+    run_p.add_argument(
         "--set",
         dest="overrides",
         action="append",
@@ -195,6 +212,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             overrides["kernel"] = args.kernel
         if args.dtype is not None:
             overrides["dtype"] = args.dtype
+        if args.shards is not None:
+            overrides["shards"] = args.shards
+        if args.shard_workers is not None:
+            overrides["shard_workers"] = args.shard_workers
         result = run_experiment(args.experiment, quick=args.quick, **overrides)
         print(result.render(chart=args.chart))
         return 0

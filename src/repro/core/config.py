@@ -69,6 +69,22 @@ class GossipTrustConfig:
     block_rows:
         Tile height of the sparse kernel's blocked estimate/residual
         pass; 0 (default) uses the ~1 MiB cache-block formula.
+    shards:
+        Column shard count of the sparse kernel: the probe columns
+        split into this many independently stepped CSR pool triples.
+        Results are shard-count invariant; the engine auto-raises the
+        count when ``n * probe_columns`` would overflow the pools'
+        int32 index guard.  Only meaningful with ``kernel="sparse"``.
+    shard_workers:
+        Worker processes stepping sparse-kernel shards concurrently.
+        ``> 1`` requires a ``"shared"`` or ``"memmap"``
+        ``workspace_backend`` (workers attach the pools by manifest).
+        Results are identical to serial stepping.
+    workspace_backend:
+        Where the vectorized engine's workspace buffers physically
+        live: ``"private"`` (default, ordinary heap), ``"shared"``
+        (POSIX shared-memory segments other processes can attach), or
+        ``"memmap"`` (file-backed maps the OS can evict).
     compute_reference:
         Whether :meth:`GossipTrust.run` computes the exact-aggregation
         oracle for error reporting.  The oracle costs O(n * cycles)
@@ -99,6 +115,9 @@ class GossipTrustConfig:
     kernel: str = "fast"
     dtype: str = "float64"
     block_rows: int = 0
+    shards: int = 1
+    shard_workers: int = 1
+    workspace_backend: str = "private"
     compute_reference: bool = True
     seed: Optional[int] = None
     sanitize: bool = field(default_factory=sanitize_enabled)
@@ -158,6 +177,26 @@ class GossipTrustConfig:
         if self.block_rows < 0:
             raise ConfigurationError(
                 f"block_rows must be >= 0, got {self.block_rows}"
+            )
+        if self.shards < 1:
+            raise ConfigurationError(f"shards must be >= 1, got {self.shards}")
+        if self.shard_workers < 1:
+            raise ConfigurationError(
+                f"shard_workers must be >= 1, got {self.shard_workers}"
+            )
+        if self.kernel != "sparse" and (self.shards != 1 or self.shard_workers != 1):
+            raise ConfigurationError(
+                "shards/shard_workers apply only to kernel='sparse' "
+                f"(got kernel={self.kernel!r})"
+            )
+        if self.workspace_backend not in ("private", "shared", "memmap"):
+            raise ConfigurationError(
+                f"unknown workspace_backend {self.workspace_backend!r}"
+            )
+        if self.shard_workers > 1 and self.workspace_backend == "private":
+            raise ConfigurationError(
+                "shard_workers > 1 needs workspace_backend='shared' or "
+                "'memmap' (worker processes attach the pools by manifest)"
             )
 
     @property

@@ -47,14 +47,18 @@ def _fig3_point(
     engine: str = "sync",
     kernel: str = "fast",
     dtype: str = "float64",
+    shards: int = 1,
+    shard_workers: int = 1,
+    workspace_backend: str = "private",
 ) -> Tuple[float, List[CycleRecord]]:
     """One Fig. 3 sweep point: mean steps over ``cycles_per_point`` cycles.
 
     Module-level and seed-pure so :func:`~repro.experiments.runner.run_sweep`
     can ship it to worker processes; returns the measurement plus the
     point's per-cycle telemetry records.  ``kernel``/``dtype`` select
-    the sync engine's step-loop kernel and buffer precision (ignored by
-    engines that do not take them).
+    the sync engine's step-loop kernel and buffer precision, and
+    ``shards``/``shard_workers``/``workspace_backend`` its sparse-kernel
+    sharding (all ignored by engines that do not take them).
     """
     streams = RngStreams(seed)
     S = synthetic_trust_matrix(n, rng=streams.get("matrix"))
@@ -68,6 +72,9 @@ def _fig3_point(
         max_steps=20_000,
         kernel=kernel,
         dtype=dtype,
+        shards=shards,
+        shard_workers=shard_workers,
+        workspace_backend=workspace_backend,
     )
     v = np.full(n, 1.0 / n)
     telemetry = CycleTelemetry()
@@ -88,6 +95,9 @@ def run_fig3(
     engine: str = "sync",
     kernel: str = "fast",
     dtype: str = "float64",
+    shards: int = 1,
+    shard_workers: int = 1,
+    workspace_backend: str = "private",
     workers: int = 1,
 ) -> ExperimentResult:
     """Measure mean gossip steps per cycle for each (n, epsilon).
@@ -118,6 +128,9 @@ def run_fig3(
                 "engine": engine,
                 "kernel": kernel,
                 "dtype": dtype,
+                "shards": shards,
+                "shard_workers": shard_workers,
+                "workspace_backend": workspace_backend,
             },
             seed=seed,
             label=f"n={n}/eps={eps:g}/s{seed}",

@@ -5,6 +5,15 @@ counts follow the bounded power law (d_max = 200, d_avg = 20), rating
 uniformly-chosen partners with random positive scores.  This produces
 the "arbitrary trust matrix" on which convergence and error are
 measured when no threat model is in play.
+
+The matrix is built *streaming*: final CSR arrays are preallocated
+from the sampled feedback counts and filled one row block at a time —
+partner draws, within-row deduplication, scores and the Eq. 1 row
+normalization all run vectorized over the block, with no Python-list
+or dense intermediate anywhere.  Peak construction memory is the CSR
+output plus O(block_rows * d_avg) transients, which is what lets the
+n = 10^6 benchmark tier build its ~2 * 10^7-edge matrix in a few
+hundred MB instead of gigabytes of list overhead.
 """
 
 from __future__ import annotations
@@ -21,36 +30,73 @@ from repro.utils.rng import SeedLike, as_generator
 
 __all__ = ["synthetic_trust_matrix"]
 
+#: rows filled per streaming block (~1.3M draws at d_avg = 20)
+_BLOCK_ROWS = 65_536
+
 
 def synthetic_trust_matrix(
     n: int,
     *,
     feedback_dist: Optional[FeedbackCountDistribution] = None,
     rng: SeedLike = None,
+    block_rows: int = _BLOCK_ROWS,
 ) -> TrustMatrix:
     """A power-law-feedback trust matrix over ``n`` honest peers.
 
     Each rater ``i`` draws its feedback count ``d_i`` from the bounded
     power law, rates ``d_i`` distinct uniform partners, and assigns each
     a uniform(0, 1] raw score; Eq. 1 normalization follows.
+
+    ``block_rows`` sets the streaming granularity (rows per block); it
+    changes memory traffic only, never the distribution.
     """
     if n < 2:
         raise ValidationError(f"n must be >= 2, got {n}")
+    if block_rows < 1:
+        raise ValidationError(f"block_rows must be >= 1, got {block_rows}")
     gen = as_generator(rng)
     dist = feedback_dist or FeedbackCountDistribution()
     counts = np.minimum(dist.sample_counts(n, gen), n - 1)
-    rows = []
-    cols = []
     total = int(counts.sum())
-    vals = 1.0 - gen.random(total)  # uniform in (0, 1]: zero scores mean "no feedback"
-    for i in range(n):
-        k = int(counts[i])
-        partners = gen.choice(n - 1, size=k, replace=False)
-        partners[partners >= i] += 1
-        rows.extend([i] * k)
-        cols.extend(partners.tolist())
-    raw = sparse.csr_matrix((vals, (rows, cols)), shape=(n, n))
-    # Normalize rows directly (every row has >= 1 positive entry).
-    sums = np.asarray(raw.sum(axis=1)).ravel()
-    inv = sparse.diags(1.0 / sums)
-    return TrustMatrix((inv @ raw).tocsr(), _validated=True)
+    indptr64 = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr64[1:])
+    idx_dt = np.int32 if max(n, total) < np.iinfo(np.int32).max else np.int64
+    indices = np.empty(total, dtype=idx_dt)
+    data = np.empty(total, dtype=np.float64)
+    for lo in range(0, n, block_rows):
+        hi = min(lo + block_rows, n)
+        c = counts[lo:hi]
+        tb = int(c.sum())
+        if tb == 0:  # pragma: no cover - counts are >= 1 by construction
+            continue
+        rows = np.repeat(np.arange(lo, hi, dtype=np.int64), c)
+        # Distinct partners per row, vectorized: draw everything at
+        # once, then redraw only the within-row duplicates until none
+        # remain (d_max = 200 << n, so collisions are rare and the
+        # loop converges in a couple of rounds).
+        cand = gen.integers(0, n - 1, size=tb)
+        key = rows * (n - 1) + cand
+        while True:
+            order = np.argsort(key, kind="stable")
+            dup = key[order][1:] == key[order][:-1]
+            if not dup.any():
+                break
+            bad = order[1:][dup]
+            cand[bad] = gen.integers(0, n - 1, size=bad.size)
+            key[bad] = rows[bad] * (n - 1) + cand[bad]
+        # Row-major sorted draw order; the self-exclusion shift is
+        # order-preserving per row, so columns land sorted in the CSR.
+        part = cand[order]
+        part[part >= rows] += 1  # rows[order] == rows (keys group by row)
+        s0, s1 = int(indptr64[lo]), int(indptr64[hi])
+        indices[s0:s1] = part
+        # uniform in (0, 1]: zero scores mean "no feedback"
+        block_vals = 1.0 - gen.random(tb)
+        # Eq. 1 row normalization, in place (every row sums to > 0).
+        inv = 1.0 / np.add.reduceat(block_vals, indptr64[lo:hi] - s0)
+        block_vals *= np.repeat(inv, c)
+        data[s0:s1] = block_vals
+    raw = sparse.csr_matrix(
+        (data, indices, indptr64.astype(idx_dt, copy=False)), shape=(n, n)
+    )
+    return TrustMatrix(raw, _validated=True)

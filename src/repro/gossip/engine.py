@@ -35,19 +35,25 @@ Three kernels execute the step loop:
   for the first few steps until their density crosses
   ``densify_threshold`` (X0 = diag(v)@S inherits the trust matrix's
   sparsity, so early steps are O(nnz) instead of O(n*p)).
-* ``sparse`` — the memory-bounded large-n path: X and W stay in CSR
-  form for the *entire* cycle, held in three rotating
+* ``sparse`` — the memory-bounded large-n path: X and W start the
+  cycle in CSR form, held in three rotating
   :class:`~repro.gossip.memory.CsrPool` buffers (current X, current W,
   SpGEMM output) whose capacity grows geometrically and never per
   step.  Each step is two C-level SpGEMMs (``csr_matmat``) of the
-  pooled mixing matrix against the pooled state; the estimate/residual
-  pass gathers CSR rows into cache-blocked dense tiles
-  (``block_rows``) against a single persistent ``prev`` estimate
-  buffer, so the only (n, p) dense array in the cycle is that buffer.
-  With probe-mode column selection the working set is (n, p) with
+  pooled mixing matrix against the pooled state.  Serial private-
+  backend runs *hand off* to dense stepping per column shard once its
+  occupancy crosses ``densify_threshold``: the CSR values are gathered
+  into three reusable dense slot arrays, the pool arrays are released,
+  and the remaining steps run as SpMMs (``csr_matvecs``) — bitwise
+  identical values (same accumulation order, and absent CSR entries
+  become exact dense zeros) at 8 bytes/entry instead of CSR's 12,
+  with no per-step pattern recomputation.  The estimate/residual pass
+  reads cache-blocked dense tiles (``block_rows``) against a single
+  persistent ``prev`` estimate buffer either way.  With probe-mode
+  column selection the working set is (n, p) with
   ``p = probe_columns`` regardless of n — at n = 10^5, p = 64,
-  float64 the whole cycle fits ~0.5 GiB; ``dtype="float32"`` halves
-  it again for the n = 10^6 tier.
+  float64 the whole cycle fits ~0.5 GiB; ``dtype="float32"`` nearly
+  halves it again for the n = 10^6 tier.
 * ``legacy`` — the reference implementation: per-step scatter matrix
   construction and ``0.5*(X + A@X)`` allocation chain.  Kept so the
   contract suite can assert the fast path is protocol-identical and so
@@ -62,13 +68,15 @@ on the same step and agree to accumulation-order rounding.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from concurrent.futures import Executor, ProcessPoolExecutor
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 from scipy import sparse
 
 from repro.analysis.sanitizer import InvariantSanitizer
 from repro.errors import ConvergenceError, ValidationError
+from repro.gossip import shard_exec
 from repro.gossip.base import CycleEngine, GossipCycleResult, TrustInput, coerce_csr
 from repro.gossip.convergence import average_relative_error
 from repro.gossip.memory import (
@@ -76,6 +84,7 @@ from repro.gossip.memory import (
     BufferBackend,
     CsrPool,
     make_backend,
+    min_shards_for,
 )
 from repro.metrics.telemetry import Stopwatch
 from repro.utils.rng import SeedLike, as_generator
@@ -112,6 +121,10 @@ _REL_FLOOR = 1e-12
 #: once a coarse check sees a residual below _FINE_FACTOR * epsilon the
 #: fast kernel switches to per-step checks (Algorithm 1's granularity)
 _FINE_FACTOR = 8.0
+
+#: above this many B elements, run_cycle's column statistics go blocked
+#: (no (n, p)-sized temporaries) instead of one-shot nan-reductions
+_BLOCKED_STATS_LIMIT = 1 << 24
 
 
 class _TargetStream:
@@ -229,26 +242,52 @@ class Workspace:
 class SparseWorkspace:
     """Pooled CSR buffers of the sparse kernel, one ``(n, p, dtype)`` shape.
 
-    Three rotating :class:`~repro.gossip.memory.CsrPool` instances hold
-    the CSR state (current X, current W, SpGEMM output — the output
-    pool is always the one whose contents just died, so two pools'
-    worth of state plus one scratch covers the whole cycle).  The
-    mixing matrix ``M = 0.5*(I + A)`` has exactly ``2n`` entries every
-    step, so its ``m_indptr``/``m_indices``/``m_data`` arrays are
-    fixed-size and ``m_data`` is the constant 0.5 vector, filled once.
+    The ``p`` probe columns are split into ``shards`` contiguous,
+    near-equal column ranges (``bounds[i] : bounds[i + 1]``), each
+    stepped independently: because the mixing matrix acts on rows, the
+    SpGEMM over a column subset computes bitwise the same values as the
+    same columns of the unsharded product.  Every shard owns three
+    rotating :class:`~repro.gossip.memory.CsrPool` instances (current
+    X, current W, SpGEMM output — the output pool is always the one
+    whose contents just died, so two pools' worth of state plus one
+    scratch covers the whole cycle).  Sharding also keeps each pool's
+    ``n * p_shard`` element count inside the int32 index guard when
+    ``n * p`` itself would not fit.  The mixing matrix
+    ``M = 0.5*(I + A)`` has exactly ``2n`` entries every step, so its
+    ``m_indptr``/``m_indices``/``m_data`` arrays are fixed-size and
+    ``m_data`` is the constant 0.5 vector, filled once; all shards of a
+    step share it.
 
-    The only dense (n, p) array is ``prev``, the persistent previous
-    estimate of the convergence check; the check itself runs over
-    ``blk``-row tiles (``xt``/``wt``/``num``/``den``, plus the ``bp``
-    offset-adjusted indptr) gathered from the pools, so peak memory is
-    ``3 * pool + (n, p) + O(blk * p)`` regardless of how long the cycle
-    runs.  ``block_rows`` overrides the tile height (0 = the fast
-    kernel's ~1 MiB cache-block formula).
+    With ``shard_workers > 1`` the pools are preallocated at the full
+    ``n * p_shard`` occupancy ceiling (worker-side growth would
+    allocate process-private arrays invisible to the attach manifest —
+    and W must reach full occupancy before convergence anyway), and the
+    shared ``targets`` buffer carries each check window's partner draws
+    to the attached worker processes (see
+    :mod:`~repro.gossip.shard_exec`).
+
+    Serial private-backend cycles additionally carry the ``dense`` /
+    ``dense_on`` handoff state: once a shard's occupancy crosses the
+    engine's ``densify_threshold`` its CSR values move into three
+    ``(n, p_shard)`` dense slot arrays (kept for reuse across cycles)
+    and the pool arrays are released, so the steady state costs
+    ``3 * n * p`` elements flat instead of CSR's values + int32
+    indices.  Beyond those slots the only dense (n, p) array is
+    ``prev``, the persistent previous estimate of the convergence
+    check; the check itself runs over ``blk``-row tiles
+    (``xt``/``wt``/``num``/``den``, plus the ``bp`` offset-adjusted
+    indptr) gathered from the pools or copied from the dense slots, so
+    peak memory is bounded by ``3 * state + (n, p) + O(blk * p)``
+    regardless of how long the cycle runs.  ``blk`` derives from the *full* probe width ``p`` whatever
+    the shard count, so residual scans of every shard count walk
+    identical row tiles.  ``block_rows`` overrides the tile height
+    (0 = the fast kernel's ~1 MiB cache-block formula).
     """
 
     __slots__ = (
-        "n", "p", "dtype", "backend", "block_rows", "pools",
-        "m_indptr", "m_indices", "m_data", "prev",
+        "n", "p", "dtype", "backend", "block_rows", "shards",
+        "shard_workers", "bounds", "shard_pools", "physical", "pools", "targets",
+        "dense", "dense_on", "m_indptr", "m_indices", "m_data", "prev",
         "xt", "wt", "num", "den", "bp", "blk", "ids", "valid",
     )
 
@@ -259,20 +298,54 @@ class SparseWorkspace:
         dtype: "np.dtype | type" = np.float64,
         backend: Optional[BufferBackend] = None,
         block_rows: int = 0,
+        shards: int = 1,
+        shard_workers: int = 1,
+        target_rows: int = 1,
     ) -> None:
         self.n = int(n)
         self.p = int(p)
         self.dtype = np.dtype(dtype)
         self.backend = backend if backend is not None else make_backend(None)
         self.block_rows = int(block_rows)
+        self.shards = max(1, min(int(shards), self.p))
+        self.shard_workers = max(1, int(shard_workers))
         be = self.backend
-        # Pools start at O(n) capacity (X0 inherits S's sparsity) and
-        # double geometrically toward the n*p occupancy ceiling.
-        cap0 = min(n * p, max(p, 2 * n))
-        self.pools = [
-            CsrPool(n, p, cap0, self.dtype, be, label=lbl)
-            for lbl in ("X", "W", "out")
-        ]
+        self.bounds = tuple(
+            self.p * i // self.shards for i in range(self.shards + 1)
+        )
+        self.shard_pools: List[List[CsrPool]] = []
+        for si in range(self.shards):
+            ps = self.bounds[si + 1] - self.bounds[si]
+            if self.shard_workers > 1:
+                cap0 = n * ps  # full occupancy: workers never grow pools
+            else:
+                # O(n) start (X0 inherits S's sparsity), doubled
+                # geometrically toward the n*ps occupancy ceiling.
+                cap0 = min(n * ps, max(ps, 2 * n))
+            prefix = "" if self.shards == 1 else f"s{si}-"
+            self.shard_pools.append([
+                CsrPool(n, ps, cap0, self.dtype, be, label=f"{prefix}{lbl}")
+                for lbl in ("X", "W", "out")
+            ])
+        # Creation-order snapshot: workers attach pools in this order,
+        # while shard_pools is re-sorted to logical [X, W, out] order at
+        # the end of every cycle — the parent maps logical slot ->
+        # physical pool index from here when dispatching worker windows.
+        self.physical: Tuple[Tuple[CsrPool, ...], ...] = tuple(
+            tuple(triple) for triple in self.shard_pools
+        )
+        #: shard 0's pool triple (the whole state when ``shards == 1``)
+        self.pools = self.shard_pools[0]
+        #: per-shard dense slot arrays [X, W, out], allocated lazily at
+        #: the serial kernel's dense handoff and reused across cycles
+        self.dense: List[Optional[List[np.ndarray]]] = [None] * self.shards
+        #: per-cycle flags: shard ``si`` stepped dense since its load
+        self.dense_on: List[bool] = [False] * self.shards
+        self.targets = (
+            be.empty((max(1, int(target_rows)), n), np.int64, "targets")
+            if self.shard_workers > 1
+            else None
+        )
         self.m_indptr = be.empty(n + 1, np.int32, "m-indptr")
         self.m_indptr[0] = 0
         self.m_indices = be.empty(2 * n, np.int32, "m-indices")
@@ -293,25 +366,37 @@ class SparseWorkspace:
         self.valid = True
 
     def matches(
-        self, n: int, p: int, dtype: "np.dtype | type", block_rows: int
+        self,
+        n: int,
+        p: int,
+        dtype: "np.dtype | type",
+        block_rows: int,
+        shards: int = 1,
+        shard_workers: int = 1,
     ) -> bool:
-        """Whether these pools serve ``(n, p, dtype, block_rows)`` and are live."""
+        """Whether these pools serve the full shape tuple and are live."""
         return (
             self.valid
             and self.n == n
             and self.p == p
             and self.dtype == np.dtype(dtype)
             and self.block_rows == int(block_rows)
+            and self.shards == max(1, min(int(shards), self.p))
+            and self.shard_workers == max(1, int(shard_workers))
         )
 
     def invalidate(self) -> None:
         """Drop the pools; non-private backends release their resources."""
         self.valid = False
+        self.dense = []
+        self.dense_on = []
         if self.backend.name == "private":
             return
+        self.shard_pools = []
+        self.physical = ()
         self.pools = []
         for name in (
-            "m_indptr", "m_indices", "m_data", "prev",
+            "m_indptr", "m_indices", "m_data", "prev", "targets",
             "xt", "wt", "num", "den", "bp", "ids",
         ):
             setattr(self, name, None)
@@ -320,7 +405,8 @@ class SparseWorkspace:
     def __repr__(self) -> str:  # pragma: no cover
         return (
             f"SparseWorkspace(n={self.n}, p={self.p}, "
-            f"dtype={self.dtype.name}, valid={self.valid})"
+            f"dtype={self.dtype.name}, shards={self.shards}, "
+            f"valid={self.valid})"
         )
 
 
@@ -356,10 +442,14 @@ class SynchronousGossipEngine(CycleEngine):
         the coarse phase.
     densify_threshold:
         Keep X/W in CSR form until either's density crosses this
-        fraction; ``0`` densifies immediately.  Only the fast kernel
-        uses it — convergence cannot fire while W is sparse (the
-        criterion needs ``W > 0`` everywhere), so the sparse phase is
-        pure O(nnz) mixing.
+        fraction; ``0`` densifies immediately.  The fast kernel uses
+        it for its sparse warm start; the sparse kernel's serial
+        private-backend path uses it per column shard as the dense
+        handoff point (CSR pools released, stepping continues as
+        bitwise-identical SpMMs over dense slot arrays — see the
+        module docstring).  In both kernels convergence cannot fire
+        while W is stored sparse (the criterion needs ``W > 0``
+        everywhere), so the CSR phase is pure O(nnz) mixing.
     kernel:
         ``"fast"`` (in-place scatter-add kernel), ``"sparse"`` (the
         memory-bounded pooled-SpGEMM path for large n), or ``"legacy"``
@@ -380,6 +470,23 @@ class SynchronousGossipEngine(CycleEngine):
         cache-block formula ``min(n, 2^17 / p)`` — which the fast
         kernel itself always uses, so residual scans of the two kernels
         walk identical tiles.
+    shards:
+        Column shard count of the sparse kernel: the ``p`` probe
+        columns split into this many contiguous ranges, each stepped in
+        its own CSR pool triple.  Results are invariant in the shard
+        count (column subsets of a row-acting SpGEMM are bitwise the
+        same values).  Auto-raised when ``n * p`` would overflow the
+        pools' int32 index guard, so the large-n path works at any
+        ``(n, p)`` without tuning.  Only the sparse kernel shards.
+    shard_workers:
+        Worker *processes* stepping shards concurrently (sparse kernel
+        only).  ``1`` (default) steps every shard inline.  ``> 1``
+        requires a ``"shared"`` or ``"memmap"`` workspace backend: the
+        workers attach the shard pools by manifest (no n-sized state is
+        copied or rebuilt per task) and each check window fans one task
+        per shard over a ``ProcessPoolExecutor`` — see
+        :mod:`~repro.gossip.shard_exec`.  Results are identical to
+        ``shard_workers=1``.
     workspace_backend:
         Where workspace buffers physically live: ``"private"``
         (default, ordinary heap), ``"shared"``
@@ -416,6 +523,8 @@ class SynchronousGossipEngine(CycleEngine):
         kernel: str = "fast",
         dtype: str = "float64",
         block_rows: int = 0,
+        shards: int = 1,
+        shard_workers: int = 1,
         workspace_backend: "str | BufferBackend" = "private",
         reuse_workspace: bool = True,
         rng: SeedLike = None,
@@ -448,6 +557,17 @@ class SynchronousGossipEngine(CycleEngine):
             raise ValidationError(f"check_every must be >= 1, got {check_every}")
         if block_rows < 0:
             raise ValidationError(f"block_rows must be >= 0, got {block_rows}")
+        if shards < 1:
+            raise ValidationError(f"shards must be >= 1, got {shards}")
+        if shard_workers < 1:
+            raise ValidationError(
+                f"shard_workers must be >= 1, got {shard_workers}"
+            )
+        if kernel != "sparse" and (shards != 1 or shard_workers != 1):
+            raise ValidationError(
+                "shards/shard_workers apply only to kernel='sparse' "
+                f"(got kernel={kernel!r})"
+            )
         check_in_range("densify_threshold", densify_threshold, low=0.0, high=1.0)
         backend_name = (
             workspace_backend
@@ -464,6 +584,11 @@ class SynchronousGossipEngine(CycleEngine):
                 "a shared/memmap workspace backend requires "
                 "reuse_workspace=True (the engine must own the buffers "
                 "to release them)"
+            )
+        if shard_workers > 1 and backend_name == "private":
+            raise ValidationError(
+                "shard_workers > 1 needs a 'shared' or 'memmap' workspace "
+                "backend (worker processes attach the pools by manifest)"
             )
         self.n = int(n)
         self.epsilon = float(epsilon)
@@ -487,11 +612,15 @@ class SynchronousGossipEngine(CycleEngine):
         self.dtype = dtype
         self._dtype = np.dtype(dtype)
         self.block_rows = int(block_rows)
+        self.shards = int(shards)
+        self.shard_workers = int(shard_workers)
         self.workspace_backend = workspace_backend
         self.reuse_workspace = bool(reuse_workspace)
         self._rng = as_generator(rng)
         self._workspace: Workspace | None = None
         self._sparse_workspace: SparseWorkspace | None = None
+        self._shard_executor: Executor | None = None
+        self._shard_executor_ws: SparseWorkspace | None = None
         #: steps used by each cycle run so far (reset via clear_stats)
         self.cycle_steps: list = []
 
@@ -522,13 +651,16 @@ class SynchronousGossipEngine(CycleEngine):
         if self.sanitizer is not None:
             self.sanitizer.begin_cycle(self.name)
 
-        X0 = (sparse.diags(v) @ S_csr).tocsr()  # X0[i, j] = v_i * s_ij
+        # X0[i, j] = v_i * s_ij; in probe mode the columns are selected
+        # *before* the row scaling — the same single multiply per entry,
+        # without ever materializing a full-S-sized scaled copy.
         if self.mode == "full":
             cols = np.arange(self.n)
+            X0 = (sparse.diags(v) @ S_csr).tocsr()
             W0 = sparse.identity(self.n, format="csr", dtype=np.float64)
         else:
             cols = self._pick_probe_columns(v, exact)
-            X0 = sparse.csr_matrix(X0[:, cols])
+            X0 = (sparse.diags(v) @ sparse.csr_matrix(S_csr[:, cols])).tocsr()
             W0 = sparse.csr_matrix(
                 (np.ones(cols.size), (cols, np.arange(cols.size))),
                 shape=(self.n, cols.size),
@@ -560,10 +692,7 @@ class SynchronousGossipEngine(CycleEngine):
 
         if B is None:
             B = self._estimates(X, W)
-        col_means = np.nanmean(np.where(np.isfinite(B), B, np.nan), axis=0)
-        disagreement = float(
-            np.nanmax(np.nanmax(B, axis=0) - np.nanmin(B, axis=0))
-        ) if np.isfinite(B).any() else float("inf")
+        col_means, disagreement = self._column_stats(B)
 
         if self.mode == "full":
             v_next = np.asarray(col_means, dtype=np.float64)
@@ -600,6 +729,7 @@ class SynchronousGossipEngine(CycleEngine):
 
     def invalidate_workspace(self) -> None:
         """Drop the cached kernel buffers (next cycle allocates fresh)."""
+        self._release_shard_executor()
         if self._workspace is not None:
             self._workspace.invalidate()
         self._workspace = None
@@ -644,15 +774,30 @@ class SynchronousGossipEngine(CycleEngine):
             self._workspace = ws if self.reuse_workspace else None
         return ws
 
+    def _effective_shards(self, p: int) -> int:
+        """The shard count actually used for probe width ``p``.
+
+        Auto-raised to whatever keeps every pool's ``n * p_shard``
+        element count inside the int32 index guard (and clamped to at
+        most one shard per column) — so ``shards=1`` "just works" at
+        any scale and explicit shard counts only ever *add* splits.
+        """
+        return min(p, max(self.shards, min_shards_for(self.n, p)))
+
     def _acquire_sparse_workspace(self, p: int) -> SparseWorkspace:
         """The reusable CSR pool set for shape ``(n, p)`` (sparse kernel)."""
+        shards = self._effective_shards(p)
         ws = self._sparse_workspace
         if (
             not self.reuse_workspace
             or ws is None
-            or not ws.matches(self.n, p, self._dtype, self.block_rows)
+            or not ws.matches(
+                self.n, p, self._dtype, self.block_rows,
+                shards, self.shard_workers,
+            )
         ):
             if ws is not None:
+                self._release_shard_executor()
                 ws.invalidate()
             ws = SparseWorkspace(
                 self.n,
@@ -660,9 +805,40 @@ class SynchronousGossipEngine(CycleEngine):
                 self._dtype,
                 make_backend(self.workspace_backend),
                 self.block_rows,
+                shards,
+                self.shard_workers,
+                self.check_every,
             )
             self._sparse_workspace = ws if self.reuse_workspace else None
         return ws
+
+    def _acquire_shard_executor(self, ws: SparseWorkspace) -> Executor:
+        """The worker pool stepping ``ws``'s shards (built per workspace).
+
+        Workers attach the workspace's pools once, in their initializer
+        (:func:`~repro.gossip.shard_exec.init_worker`), so the pool
+        must be rebuilt whenever the workspace is — the manifest it
+        attached would otherwise point at released buffers.
+        """
+        if self._shard_executor is not None and self._shard_executor_ws is ws:
+            return self._shard_executor
+        self._release_shard_executor()
+        spec = shard_exec.workspace_spec(ws)
+        ex = ProcessPoolExecutor(
+            max_workers=max(1, min(self.shard_workers, ws.shards)),
+            initializer=shard_exec.init_worker,
+            initargs=(spec,),
+        )
+        self._shard_executor = ex
+        self._shard_executor_ws = ws
+        return ex
+
+    def _release_shard_executor(self) -> None:
+        """Shut the shard worker pool down (workers drop their attaches)."""
+        if self._shard_executor is not None:
+            self._shard_executor.shutdown(wait=True)
+        self._shard_executor = None
+        self._shard_executor_ws = None
 
     # -- internals -----------------------------------------------------------
 
@@ -693,6 +869,54 @@ class SynchronousGossipEngine(CycleEngine):
     def _estimates(X: np.ndarray, W: np.ndarray) -> np.ndarray:
         with np.errstate(divide="ignore", invalid="ignore"):
             return np.where(W > 0, X / np.where(W > 0, W, 1.0), np.nan)
+
+    @staticmethod
+    def _column_stats(B: np.ndarray) -> Tuple[np.ndarray, float]:
+        """Per-column mean of the finite estimates, plus node disagreement.
+
+        Small matrices take the one-shot nan-reduction path.  Past
+        ``_BLOCKED_STATS_LIMIT`` elements the reductions run over row
+        blocks with O(block * p) temporaries instead — at n = 10^6,
+        p = 64, float64 the one-shot path's masked copy alone is
+        ~0.5 GiB, a third of the whole cycle's budget.
+        """
+        n, p = B.shape
+        if n * p <= _BLOCKED_STATS_LIMIT:
+            col_means = np.nanmean(np.where(np.isfinite(B), B, np.nan), axis=0)
+            disagreement = float(
+                np.nanmax(np.nanmax(B, axis=0) - np.nanmin(B, axis=0))
+            ) if np.isfinite(B).any() else float("inf")
+            return col_means, disagreement
+        blk = max(1, (1 << 20) // max(p, 1))
+        sums = np.zeros(p, dtype=np.float64)
+        counts = np.zeros(p, dtype=np.int64)
+        col_max = np.full(p, -np.inf)
+        col_min = np.full(p, np.inf)
+        for lo in range(0, n, blk):
+            tile = B[lo : min(lo + blk, n)]
+            finite = np.isfinite(tile)
+            if bool(finite.all()):
+                sums += tile.sum(axis=0, dtype=np.float64)
+                counts += tile.shape[0]
+                np.maximum(col_max, tile.max(axis=0), out=col_max)
+                np.minimum(col_min, tile.min(axis=0), out=col_min)
+                continue
+            masked = np.where(finite, tile, 0.0)
+            sums += masked.sum(axis=0, dtype=np.float64)
+            counts += finite.sum(axis=0)
+            np.maximum(
+                col_max, np.where(finite, tile, -np.inf).max(axis=0), out=col_max
+            )
+            np.minimum(
+                col_min, np.where(finite, tile, np.inf).min(axis=0), out=col_min
+            )
+        seen = counts > 0
+        with np.errstate(divide="ignore", invalid="ignore"):
+            col_means = np.where(seen, sums / np.maximum(counts, 1), np.nan)
+        if not bool(seen.any()):
+            return col_means, float("inf")
+        spread = col_max[seen] - col_min[seen]
+        return col_means, float(spread.max())
 
     # -- fast kernel -------------------------------------------------------
 
@@ -886,18 +1110,35 @@ class SynchronousGossipEngine(CycleEngine):
         raise_on_budget: bool,
         phases: Optional[Dict[str, float]] = None,
     ) -> Tuple[int, bool, np.ndarray]:
-        """Step loop with X and W in CSR form for the entire cycle.
+        """Step loop with X and W in pooled CSR form, densifying late.
 
-        One step is two C-level SpGEMMs (``csr_matmat``) of the pooled
-        mixing matrix against the pooled state, writing into whichever
-        of the three rotating :class:`~repro.gossip.memory.CsrPool`
-        buffers just died — capacity grows geometrically toward the
-        ``n * p`` occupancy ceiling and never per step (the SpGEMM
-        output bound is the closed form ``min(2 * nnz, n * p)``, so no
-        symbolic pass runs).  The estimate/residual check walks the
-        same cadence, block tiling and early-exit/fine-trigger logic as
-        the fast kernel (see :meth:`_sparse_check`), so both kernels
-        consume identical RNG streams and stop on the same step.
+        One step is, per column shard, two C-level SpGEMMs
+        (``csr_matmat``) of the pooled mixing matrix against the
+        shard's pooled state, writing into whichever of its three
+        rotating :class:`~repro.gossip.memory.CsrPool` buffers just
+        died — capacity grows geometrically toward the ``n * p_shard``
+        occupancy ceiling and never per step (the SpGEMM output bound
+        is the closed form ``min(2 * nnz, n * p_shard)``, so no
+        symbolic pass runs).  Rotation is by index arithmetic (after
+        ``s`` steps X lives at slot ``(-s) % 3``, W at ``(1 - s) % 3``)
+        so worker processes need no shared rotation state.  Serial
+        private-backend runs hand each shard off to dense slot
+        stepping once its occupancy crosses ``densify_threshold``
+        (:meth:`_densify_shard` / :meth:`_dense_step` — bitwise the
+        same values, ~2/3 the steady-state bytes, no SpGEMM pattern
+        cost).  With ``shard_workers > 1`` whole check windows of
+        steps are fanned out, one task per shard, over
+        attached-by-manifest workers (:mod:`~repro.gossip.shard_exec`);
+        results are identical to inline stepping because every path
+        runs the same mixing sequence over the same RNG-derived
+        targets.
+
+        The estimate/residual check walks the same cadence, block
+        tiling and early-exit/fine-trigger logic as the fast kernel
+        (see :meth:`_sparse_check`), so all kernels consume identical
+        RNG streams and stop on the same step — and the check compares
+        only after a full row tile (all shards), so step counts are
+        invariant in the shard count too.
 
         Returns ``(steps, converged, B)`` where ``B`` is the persistent
         (n, p) estimate buffer — the only dense (n, p) array the cycle
@@ -910,16 +1151,45 @@ class SynchronousGossipEngine(CycleEngine):
         ws = self._acquire_sparse_workspace(p)
         if phases is not None:
             phases["alloc"] = phases.get("alloc", 0.0) + alloc_watch.elapsed()
-        X, W, free = ws.pools
-        X.load(Xs)
-        W.load(Ws)
+        bounds = ws.bounds
+        ws.dense_on = [False] * ws.shards
+        for si, triple in enumerate(ws.shard_pools):
+            if ws.shards == 1:
+                triple[0].load(Xs)
+                triple[1].load(Ws)
+            else:
+                lo, hi = bounds[si], bounds[si + 1]
+                triple[0].load(sparse.csr_matrix(Xs[:, lo:hi]))
+                triple[1].load(sparse.csr_matrix(Ws[:, lo:hi]))
+        executor = (
+            self._acquire_shard_executor(ws) if ws.shard_workers > 1 else None
+        )
+        # Serial private runs hand each shard off to dense slot arrays
+        # once its occupancy crosses densify_threshold: past that point
+        # SpMM (csr_matvecs) beats SpGEMM per step and the index arrays
+        # are pure overhead — and the handoff is bitwise-invisible (see
+        # _dense_step).  Worker runs keep CSR (released pool arrays
+        # would dangle manifest attaches), as do shared/memmap serial
+        # runs (their segments cannot shrink).
+        densify = (
+            executor is None
+            and ws.backend.name == "private"
+            and _csr_matvecs is not None
+        )
+        dense_at = [
+            max(0, int(self.densify_threshold * t[0].full_capacity))
+            for t in ws.shard_pools
+        ]
         stream = _TargetStream(self._rng, n, k)
         san = self.sanitizer
         # Push-sum conservation references (column sums are invariant
         # under M = 0.5*(I + A), so the totals are too).
-        x_mass = X.sum() if san is not None else 0.0
-        w_mass = W.sum() if san is not None else 0.0
-        full = n * p
+        x_mass = (
+            sum(t[0].sum() for t in ws.shard_pools) if san is not None else 0.0
+        )
+        w_mass = (
+            sum(t[1].sum() for t in ws.shard_pools) if san is not None else 0.0
+        )
         step = 0
         converged = False
         have_prev = False
@@ -927,29 +1197,63 @@ class SynchronousGossipEngine(CycleEngine):
         fine = False  # per-step checks once a residual nears epsilon
         fine_at = _FINE_FACTOR * self.epsilon
 
-        # hot: sparse step loop — two pooled SpGEMMs, no per-step allocations
         while step < self.max_steps:
-            step += 1
-            self._fill_mixing(stream.next(), n, ws)
-            self._spgemm_step(ws, X, free)
-            X, free = free, X
-            self._spgemm_step(ws, W, free)
-            W, free = free, W
-
-            if step < self.min_steps or (not fine and step % k):
-                continue
+            # Advance in whole check windows: the serial loop's skip
+            # logic collapses to "next step where a check fires", which
+            # is also the natural fan-out unit for shard workers.
+            nxt = self._next_check(step, fine)
+            target = min(nxt, self.max_steps)
+            if executor is not None:
+                step = self._advance_windowed(executor, ws, stream, step, target)
+            else:
+                # hot: sharded sparse step loop — two pooled SpGEMMs per shard
+                while step < target:
+                    self._fill_mixing(stream.next(), n, ws)
+                    a = (-step) % 3
+                    b = (1 - step) % 3
+                    c = (2 - step) % 3
+                    for si, triple in enumerate(ws.shard_pools):
+                        if not ws.dense_on[si]:
+                            if densify and (
+                                triple[a].nnz >= dense_at[si]
+                                or triple[b].nnz >= dense_at[si]
+                            ):
+                                self._densify_shard(ws, si, a, b, c)
+                            else:
+                                self._spgemm_step(ws, triple[a], triple[c])
+                                self._spgemm_step(ws, triple[b], triple[a])
+                                continue
+                        self._dense_step(ws, si, a, b, c)
+                    step += 1
+            if step != nxt:
+                break  # budget ran out before the next check step
+            xs = (-step) % 3
+            wsl = (1 - step) % 3
             if san is not None:
-                san.check_mass("sum(X)", X.sum(), x_mass, step=step)
-                san.check_mass("sum(W)", W.sum(), w_mass, step=step)
-                san.check_nonnegative("W", W.data[: W.nnz], step=step)
+                san.check_mass(
+                    "sum(X)", self._slot_mass(ws, xs), x_mass, step=step
+                )
+                san.check_mass(
+                    "sum(W)", self._slot_mass(ws, wsl), w_mass, step=step
+                )
+                for si, triple in enumerate(ws.shard_pools):
+                    dx = ws.dense[si]
+                    if ws.dense_on[si] and dx is not None:
+                        san.check_nonnegative("W", dx[wsl], step=step)
+                    else:
+                        Wp = triple[wsl]
+                        san.check_nonnegative("W", Wp.data[: Wp.nnz], step=step)
             if not w_allpos:
                 # W's pattern only grows (M carries a full diagonal) and
                 # its values stay positive, so full occupancy is sticky
                 # — the check degrades to one int comparison afterwards.
-                w_allpos = W.nnz == full and W.min() > 0.0
+                # (Dense shards carry exact zeros instead of absent
+                # entries, so their min > 0 is the same full-occupancy
+                # test; full == n * p is only summed over CSR shards.)
+                w_allpos = self._w_all_positive(ws, wsl)
                 if not w_allpos:
                     continue
-            worst, all_below = self._sparse_check(ws, X, W, have_prev, step)
+            worst, all_below = self._sparse_check(ws, step, have_prev)
             if have_prev:
                 if all_below:
                     converged = True
@@ -959,7 +1263,19 @@ class SynchronousGossipEngine(CycleEngine):
                 fine = fine or worst <= fine_at
             have_prev = True
 
-        ws.pools = [X, W, free]
+        # Normalize slot order so the next cycle loads into [X, W, out]
+        # again (in place: ws.pools aliases shard 0's triple).  Dense
+        # slot lists rotate with the same arithmetic as the pools, so
+        # they are normalized identically — keeping the two indexable
+        # by one slot number wherever a shard handed off.
+        a = (-step) % 3
+        b = (1 - step) % 3
+        c = (2 - step) % 3
+        for si, triple in enumerate(ws.shard_pools):
+            triple[:] = [triple[a], triple[b], triple[c]]
+            dense = ws.dense[si]
+            if dense is not None:
+                dense[:] = [dense[a], dense[b], dense[c]]
         if not converged:
             if raise_on_budget:
                 raise ConvergenceError(
@@ -967,29 +1283,83 @@ class SynchronousGossipEngine(CycleEngine):
                     f"(epsilon={self.epsilon})",
                     steps=self.max_steps,
                 )
-            self._sparse_estimates(ws, X, W)
+            self._sparse_estimates(ws)
         return step, converged, ws.prev
+
+    def _next_check(self, step: int, fine: bool) -> int:
+        """The next step (> ``step``) on which a convergence check fires.
+
+        Mirrors the serial skip ``step < min_steps or (not fine and
+        step % check_every)``: the first step that is at least
+        ``min_steps`` and — outside the fine phase — a multiple of the
+        check cadence.
+        """
+        t = max(step + 1, self.min_steps)
+        if fine:
+            return t
+        r = t % self.check_every
+        return t if r == 0 else t + (self.check_every - r)
+
+    def _advance_windowed(
+        self,
+        executor: Executor,
+        ws: SparseWorkspace,
+        stream: _TargetStream,
+        step: int,
+        target: int,
+    ) -> int:
+        """Fan ``target - step`` gossip steps out, one task per shard.
+
+        The parent draws the window's partner targets (consuming the
+        RNG stream exactly as the inline loop would) into the shared
+        ``targets`` buffer; each task steps one shard through the whole
+        window against its attached pools, so no two concurrent tasks
+        touch the same arrays.  Windows longer than the buffer are
+        dispatched in buffer-sized slices.  On return the live ``nnz``
+        counters of the X/W slots are refreshed from the pools' indptr
+        (workers do not track them).
+        """
+        n = ws.n
+        targets = ws.targets
+        assert targets is not None
+        rows = targets.shape[0]
+        # Workers see pools in creation (attach) order; the parent's
+        # logical [X, W, out] list is re-sorted between cycles, so ship
+        # the logical -> physical slot map with every window.
+        perm = tuple(
+            ws.physical[0].index(pool) for pool in ws.shard_pools[0]
+        )
+        while step < target:
+            w = min(target - step, rows)
+            for t in range(w):
+                targets[t, :] = stream.next()
+            futures = [
+                executor.submit(shard_exec.advance_shard, si, step, w, perm)
+                for si in range(ws.shards)
+            ]
+            for fut in futures:
+                fut.result()
+            step += w
+        xs = (-step) % 3
+        wsl = (1 - step) % 3
+        for triple in ws.shard_pools:
+            triple[xs].nnz = int(triple[xs].indptr[n])
+            triple[wsl].nnz = int(triple[wsl].indptr[n])
+        return step
 
     # hot: per-step CSR layout of M = 0.5*(I + A) into the mixing pools
     def _fill_mixing(self, targets: np.ndarray, n: int, ws: SparseWorkspace) -> None:
         """Lay out the step's mixing matrix into the workspace pools.
 
-        Same O(n) bincount + stable-argsort layout as
-        :meth:`_mixing_matrix` — senders ascending, diagonal last — but
+        Delegates to :func:`~repro.gossip.shard_exec.fill_mixing` — the
+        same O(n) bincount + stable-argsort layout as
+        :meth:`_mixing_matrix` (senders ascending, diagonal last), and
+        byte-identical code to what shard worker processes run —
         writing into the preallocated ``m_indptr``/``m_indices`` arrays
         (``m_data`` is the constant 0.5 vector, filled once; M always
         has exactly ``2n`` entries).
         """
-        ids = ws.ids
-        np.cumsum(np.bincount(targets, minlength=n) + 1, out=ws.m_indptr[1:])
-        order = np.argsort(targets, kind="stable")
-        sorted_t = targets[order]
-        starts = np.flatnonzero(
-            np.concatenate(([True], sorted_t[1:] != sorted_t[:-1]))
-        )
-        seg_origin = np.repeat(starts, np.diff(np.append(starts, n)))
-        ws.m_indices[ws.m_indptr[sorted_t] + (ids - seg_origin)] = order
-        ws.m_indices[ws.m_indptr[1:] - 1] = ids
+        shard_exec.fill_mixing(targets, ws.ids, ws.m_indptr, ws.m_indices)
 
     # hot: one pooled SpGEMM — dst := M @ src, no symbolic pass
     def _spgemm_step(self, ws: SparseWorkspace, src: CsrPool, dst: CsrPool) -> None:
@@ -997,52 +1367,172 @@ class SynchronousGossipEngine(CycleEngine):
 
         ``dst`` is grown (geometrically, contents discarded — it holds
         dead state) to the closed-form output bound
-        ``min(2 * nnz(src), n * p)``: every output row merges the rows
-        of at most ``I + A``'s two entries per column, so total output
-        nnz is at most twice the input's, and a row never exceeds ``p``
-        columns.  Skipping scipy's exact ``csr_matmat_maxnnz`` symbolic
-        pass halves the per-step SpGEMM cost.  Output columns arrive
-        unsorted (SMMP insertion order) — everything downstream gathers
-        through ``csr_todense``, which scatters by index and does not
-        care.
+        ``min(2 * nnz(src), n * p_shard)``: every output row merges the
+        rows of at most ``I + A``'s two entries per column, so total
+        output nnz is at most twice the input's, and a row never
+        exceeds the shard's column count.  Skipping scipy's exact
+        ``csr_matmat_maxnnz`` symbolic pass halves the per-step SpGEMM
+        cost.  Output columns arrive unsorted (SMMP insertion order) —
+        everything downstream gathers through ``csr_todense``, which
+        scatters by index and does not care.
         """
         dst.ensure(2 * src.nnz)
         _csr_matmat(
-            ws.n, ws.p,
+            ws.n, src.cols,
             ws.m_indptr, ws.m_indices, ws.m_data,
             src.indptr, src.indices, src.data,
             dst.indptr, dst.indices, dst.data,
         )
         dst.nnz = int(dst.indptr[ws.n])
 
+    def _densify_shard(
+        self, ws: SparseWorkspace, si: int, a: int, b: int, c: int
+    ) -> None:
+        """Hand shard ``si`` off from pooled CSR to dense slot stepping.
+
+        Gathers the live X (slot ``a``) and W (slot ``b``) values into
+        three reusable ``(n, p_shard)`` dense arrays and releases the
+        CSR pool arrays — slot ``c`` holds dead state, so it is not
+        gathered (the next step zero-fills it as the SpMM output).
+        Each pool is released immediately after its gather, so the
+        transient co-residency is one dense slot, not three.  The
+        dense arrays persist on the workspace across cycles; only the
+        ``dense_on`` flags reset per cycle.
+        """
+        triple = ws.shard_pools[si]
+        ps = triple[0].cols
+        dense = ws.dense[si]
+        if dense is None:
+            dense = [
+                np.empty((ws.n, ps), dtype=ws.dtype) for _ in range(3)
+            ]
+            ws.dense[si] = dense
+        for slot in (a, b):
+            pool = triple[slot]
+            dst = dense[slot]
+            dst.fill(0.0)
+            _csr_todense(
+                ws.n, ps, pool.indptr, pool.indices, pool.data, dst.ravel()
+            )
+            pool.release()
+        triple[c].release()
+        ws.dense_on[si] = True
+
+    # hot: dense shard step — two csr_matvecs SpMMs against the mixing arrays
+    def _dense_step(
+        self, ws: SparseWorkspace, si: int, a: int, b: int, c: int
+    ) -> None:
+        """One gossip step of a handed-off shard: ``M @ X``, ``M @ W`` dense.
+
+        ``csr_matvecs`` accumulates into the zero-filled target by
+        walking each M row's stored entries in order — exactly the
+        order ``csr_matmat`` sums the same products — and entries the
+        CSR state would not store are exact dense zeros (adding them
+        is an IEEE no-op), so the dense trajectory is **bitwise**
+        identical to the pooled-SpGEMM one at any handoff point.  Per
+        entry the state costs 8 bytes instead of CSR's 12, and the
+        SpMM skips SpGEMM's per-step pattern recomputation entirely.
+        Rotation matches :meth:`_gossip_sparse`: new X into slot ``c``,
+        new W into the slot X vacated (``a``).
+        """
+        dense = ws.dense[si]
+        assert dense is not None
+        n = ws.n
+        ps = dense[0].shape[1]
+        out = dense[c]
+        out.fill(0.0)
+        _csr_matvecs(
+            n, n, ps, ws.m_indptr, ws.m_indices, ws.m_data,
+            dense[a].ravel(), out.ravel(),
+        )
+        tgt = dense[a]
+        tgt.fill(0.0)
+        _csr_matvecs(
+            n, n, ps, ws.m_indptr, ws.m_indices, ws.m_data,
+            dense[b].ravel(), tgt.ravel(),
+        )
+
+    def _slot_mass(self, ws: SparseWorkspace, slot: int) -> float:
+        """Total mass of slot ``slot`` across shards, CSR or dense."""
+        total = 0.0
+        for si, triple in enumerate(ws.shard_pools):
+            dense = ws.dense[si]
+            if ws.dense_on[si] and dense is not None:
+                total += float(dense[slot].sum())
+            else:
+                total += triple[slot].sum()
+        return total
+
+    def _w_all_positive(self, ws: SparseWorkspace, wsl: int) -> bool:
+        """Whether W is positive on every node (the convergence gate).
+
+        CSR shards require full occupancy plus a positive minimum;
+        dense shards store exact zeros where CSR stores nothing, so
+        their positive minimum alone is the same test.
+        """
+        for si, triple in enumerate(ws.shard_pools):
+            dense = ws.dense[si]
+            if ws.dense_on[si] and dense is not None:
+                if not float(dense[wsl].min()) > 0.0:
+                    return False
+            else:
+                pool = triple[wsl]
+                if pool.nnz != pool.full_capacity or not pool.min() > 0.0:
+                    return False
+        return True
+
     # hot: CSR row-range gather into a dense workspace tile
     def _gather_tile(
         self, ws: SparseWorkspace, pool: CsrPool, lo: int, hi: int, out: np.ndarray
     ) -> None:
-        """Densify pool rows ``[lo, hi)`` into ``out[: hi - lo]``.
+        """Densify pool rows ``[lo, hi)`` into ``out`` (shaped exactly).
 
         ``bp`` holds the offset-adjusted indptr slice; ``csr_todense``
         scatter-adds the row entries into the zeroed tile at C speed.
+        ``out`` is a contiguous ``(hi - lo, pool.cols)`` view of a
+        workspace tile buffer.
         """
         m = hi - lo
         np.subtract(pool.indptr[lo : hi + 1], pool.indptr[lo], out=ws.bp[: m + 1])
         start = int(pool.indptr[lo])
         end = int(pool.indptr[hi])
-        out[:m].fill(0.0)
+        out.fill(0.0)
         _csr_todense(
-            m, ws.p, ws.bp[: m + 1],
+            m, pool.cols, ws.bp[: m + 1],
             pool.indices[start:end], pool.data[start:end],
-            out[:m].ravel(),
+            out.ravel(),
         )
+
+    # hot: shard tile load — dense row copy or CSR gather, same values
+    def _load_tile(
+        self,
+        ws: SparseWorkspace,
+        si: int,
+        slot: int,
+        lo: int,
+        hi: int,
+        out: np.ndarray,
+    ) -> None:
+        """Rows ``[lo, hi)`` of shard ``si``'s slot into a scratch tile.
+
+        A handed-off shard's rows are copied straight out of its dense
+        slot array (which holds exactly what ``csr_todense`` would
+        scatter); a CSR shard goes through :meth:`_gather_tile`.  Both
+        paths fill ``out`` completely, and the copy keeps downstream
+        in-place tile arithmetic off the live state.
+        """
+        dense = ws.dense[si]
+        if ws.dense_on[si] and dense is not None:
+            np.copyto(out, dense[slot][lo:hi])
+        else:
+            self._gather_tile(ws, ws.shard_pools[si][slot], lo, hi, out)
 
     # hot: blocked estimate/residual pass over CSR row gathers
     def _sparse_check(
         self,
         ws: SparseWorkspace,
-        X: CsrPool,
-        W: CsrPool,
-        have_prev: bool,
         step: int,
+        have_prev: bool,
     ) -> Tuple[float, bool]:
         """One convergence check: estimates into ``prev``, residual out.
 
@@ -1052,58 +1542,87 @@ class SynchronousGossipEngine(CycleEngine):
         *comparing* (``worst`` freezes at the fast kernel's break-point
         value, keeping the fine-trigger decision identical) but keeps
         gathering, because ``prev`` must hold this check's complete
-        estimates for the next comparison.  Returns
-        ``(worst, all_below)``; ``all_below`` can only be True when
-        ``have_prev`` was.
+        estimates for the next comparison.  Shards are gathered inside
+        the row-tile loop (contiguous sub-tiles carved from the flat
+        tile buffers) and the over-epsilon comparison runs only after a
+        *full* row tile, so ``worst`` takes exactly the unsharded tile
+        maxima and the decision sequence is invariant in the shard
+        count.  Returns ``(worst, all_below)``; ``all_below`` can only
+        be True when ``have_prev`` was.
         """
         n = ws.n
         blk = ws.blk
         prev = ws.prev
+        bounds = ws.bounds
         san = self.sanitizer
         eps = self.epsilon
+        xslot = (-step) % 3
+        wslot = (1 - step) % 3
+        xf = ws.xt.ravel()
+        wf = ws.wt.ravel()
+        nf = ws.num.ravel()
+        df = ws.den.ravel()
         worst = 0.0
         all_below = have_prev
         scanning = have_prev
         for lo in range(0, n, blk):
             hi = min(lo + blk, n)
             m = hi - lo
-            self._gather_tile(ws, X, lo, hi, ws.xt)
-            self._gather_tile(ws, W, lo, hi, ws.wt)
-            np.divide(ws.xt[:m], ws.wt[:m], out=ws.xt[:m])
-            if san is not None:
-                san.check_finite("estimates x/w", ws.xt[:m], step=step)
+            tile_worst = 0.0
+            for si in range(ws.shards):
+                c0, c1 = bounds[si], bounds[si + 1]
+                pc = c1 - c0
+                xt = xf[: m * pc].reshape(m, pc)
+                wt = wf[: m * pc].reshape(m, pc)
+                self._load_tile(ws, si, xslot, lo, hi, xt)
+                self._load_tile(ws, si, wslot, lo, hi, wt)
+                np.divide(xt, wt, out=xt)
+                if san is not None:
+                    san.check_finite("estimates x/w", xt, step=step)
+                psub = prev[lo:hi, c0:c1]
+                if scanning:
+                    num = nf[: m * pc].reshape(m, pc)
+                    den = df[: m * pc].reshape(m, pc)
+                    np.subtract(xt, psub, out=num)
+                    np.abs(num, out=num)
+                    np.maximum(psub, _REL_FLOOR, out=den)
+                    num /= den
+                    tile_worst = max(tile_worst, float(num.max()))
+                psub[...] = xt
             if scanning:
-                np.subtract(ws.xt[:m], prev[lo:hi], out=ws.num[:m])
-                np.abs(ws.num[:m], out=ws.num[:m])
-                np.maximum(prev[lo:hi], _REL_FLOOR, out=ws.den[:m])
-                ws.num[:m] /= ws.den[:m]
-                worst = max(worst, float(ws.num[:m].max()))
+                worst = max(worst, tile_worst)
                 if worst > eps:
                     all_below = False
                     scanning = False
-            prev[lo:hi] = ws.xt[:m]
         return worst, all_below
 
-    def _sparse_estimates(self, ws: SparseWorkspace, X: CsrPool, W: CsrPool) -> None:
+    def _sparse_estimates(self, ws: SparseWorkspace) -> None:
         """Guarded estimates into ``prev`` (budget-exhaustion path).
 
         Outside the hot loop: runs once when the step budget runs out
         before W is positive everywhere, so NaN-masking temporaries are
-        acceptable here.
+        acceptable here.  Reads the normalized ``[X, W, out]`` slot
+        order (the step loop restores it before calling).
         """
         n = ws.n
         blk = ws.blk
+        bounds = ws.bounds
+        xf = ws.xt.ravel()
+        wf = ws.wt.ravel()
         for lo in range(0, n, blk):
             hi = min(lo + blk, n)
             m = hi - lo
-            self._gather_tile(ws, X, lo, hi, ws.xt)
-            self._gather_tile(ws, W, lo, hi, ws.wt)
-            xt = ws.xt[:m]
-            wt = ws.wt[:m]
-            with np.errstate(divide="ignore", invalid="ignore"):
-                np.divide(xt, wt, out=xt)
-            xt[wt <= 0.0] = np.nan
-            ws.prev[lo:hi] = xt
+            for si in range(ws.shards):
+                c0, c1 = bounds[si], bounds[si + 1]
+                pc = c1 - c0
+                xt = xf[: m * pc].reshape(m, pc)
+                wt = wf[: m * pc].reshape(m, pc)
+                self._load_tile(ws, si, 0, lo, hi, xt)
+                self._load_tile(ws, si, 1, lo, hi, wt)
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    np.divide(xt, wt, out=xt)
+                xt[wt <= 0.0] = np.nan
+                ws.prev[lo:hi, c0:c1] = xt
 
     # -- legacy kernel -----------------------------------------------------
 

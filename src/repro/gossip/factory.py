@@ -202,6 +202,9 @@ def _build_sync(
         kernel=getattr(config, "kernel", "fast"),
         dtype=getattr(config, "dtype", "float64"),
         block_rows=getattr(config, "block_rows", 0),
+        shards=getattr(config, "shards", 1),
+        shard_workers=getattr(config, "shard_workers", 1),
+        workspace_backend=getattr(config, "workspace_backend", "private"),
         rng=streams.get("gossip"),
     )
     kwargs.update(constructor_kwargs(SynchronousGossipEngine, overrides))

@@ -29,6 +29,12 @@ physically live and how they grow:
   output bound ``min(2 * nnz, n * p)``, so a whole gossip cycle incurs
   at most ``O(log(n * p))`` growth reallocations.
 
+Both non-private backends support *attach-by-manifest*: the creating
+process lists ``label -> (segment name / file path, shape, dtype)``
+via ``manifest()`` and another process maps the same physical pages
+with :func:`attach_array` — the sharded sparse kernel's step workers
+and the sweep runner's shared-input initializer both ride on this.
+
 Backends are selected by name (``workspace_backend=`` on the engine,
 forwarded by the factory) via :func:`make_backend`.
 """
@@ -52,6 +58,9 @@ __all__ = [
     "SharedMemoryBuffers",
     "MemmapBuffers",
     "make_backend",
+    "attach_array",
+    "max_pool_columns",
+    "min_shards_for",
     "CsrPool",
     "BACKEND_NAMES",
 ]
@@ -87,6 +96,15 @@ class BufferBackend:
 
     def close(self) -> None:
         """Release backend resources (no-op for private buffers)."""
+
+    def manifest(self) -> Dict[str, Tuple[str, Tuple[int, ...], str]]:
+        """``label -> (ref, shape, dtype str)`` for :func:`attach_array`.
+
+        Private buffers live in one process only, so their manifest is
+        empty; shared-memory and memmap backends list every array they
+        allocated.
+        """
+        return {}
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"{type(self).__name__}()"
@@ -186,6 +204,7 @@ class MemmapBuffers(BufferBackend):
             self._dir = directory
         self._count = 0
         self._paths: List[str] = []
+        self._manifest: Dict[str, Tuple[str, Tuple[int, ...], str]] = {}
 
     @property
     def directory(self) -> str:
@@ -200,7 +219,18 @@ class MemmapBuffers(BufferBackend):
         path = os.path.join(self._dir, f"buf-{self._count}{suffix}.mm")
         self._count += 1
         self._paths.append(path)
-        return np.memmap(path, dtype=np.dtype(dtype), mode="w+", shape=shape_t)
+        dt = np.dtype(dtype)
+        self._manifest[label or os.path.basename(path)] = (path, shape_t, dt.str)
+        return np.memmap(path, dtype=dt, mode="w+", shape=shape_t)
+
+    def manifest(self) -> Dict[str, Tuple[str, Tuple[int, ...], str]]:
+        """``label -> (file path, shape, dtype str)`` for :func:`attach_array`."""
+        return dict(self._manifest)
+
+    @staticmethod
+    def attach(path: str, shape: Tuple[int, ...], dtype: str) -> np.ndarray:
+        """Map an existing spill file read-write (same physical pages)."""
+        return np.memmap(path, dtype=np.dtype(dtype), mode="r+", shape=tuple(shape))
 
     def close(self) -> None:
         for path in self._paths:
@@ -209,9 +239,44 @@ class MemmapBuffers(BufferBackend):
             except FileNotFoundError:  # pragma: no cover - already gone
                 pass
         self._paths = []
+        self._manifest = {}
         if self._tmpdir is not None:
             self._tmpdir.cleanup()
             self._tmpdir = None
+
+
+def attach_array(
+    backend_name: str, entry: Tuple[str, Tuple[int, ...], str]
+) -> Tuple[np.ndarray, object]:
+    """Map one manifest entry from another process; ``(array, keeper)``.
+
+    ``entry`` is a ``(ref, shape, dtype str)`` triple from a backend's
+    ``manifest()``.  The keeper must stay referenced while the array is
+    used: for ``"shared"`` it is the :class:`SharedMemory` handle (its
+    ``close()`` unmaps; only the owner unlinks), for ``"memmap"`` the
+    memmap itself (the file's lifetime belongs to the owner).
+    """
+    ref, shape, dtype = entry
+    if backend_name == "shared":
+        return SharedMemoryBuffers.attach(ref, tuple(shape), dtype)
+    if backend_name == "memmap":
+        arr = MemmapBuffers.attach(ref, tuple(shape), dtype)
+        return arr, arr
+    raise ConfigurationError(
+        f"backend {backend_name!r} does not support attach-by-manifest "
+        "(only 'shared' and 'memmap' do)"
+    )
+
+
+def max_pool_columns(n: int) -> int:
+    """The widest CSR pool (columns) that keeps ``n * cols`` in int32 range."""
+    return max(1, (int(np.iinfo(INDEX_DTYPE).max) - 1) // max(1, int(n)))
+
+
+def min_shards_for(n: int, cols: int) -> int:
+    """The fewest column shards splitting ``cols`` under the int32 guard."""
+    per_shard = max_pool_columns(n)
+    return -(-int(cols) // per_shard)  # ceil division
 
 
 def make_backend(spec: Union[str, BufferBackend, None]) -> BufferBackend:
@@ -246,7 +311,10 @@ class CsrPool:
     how much of the capacity is live.
     """
 
-    __slots__ = ("n", "cols", "indptr", "indices", "data", "nnz", "_backend", "_dtype")
+    __slots__ = (
+        "n", "cols", "label", "indptr", "indices", "data", "nnz",
+        "_backend", "_dtype",
+    )
 
     def __init__(
         self,
@@ -258,12 +326,17 @@ class CsrPool:
         label: str = "pool",
     ) -> None:
         if int(n) * int(cols) >= np.iinfo(INDEX_DTYPE).max:
+            fit = max_pool_columns(n)
             raise ValidationError(
-                f"CSR pool of shape ({n}, {cols}) exceeds int32 index range; "
-                "shard the probe columns instead"
+                f"CSR pool of shape ({n}, {cols}) needs {int(n) * int(cols)} "
+                f"int32-indexed entries (>= 2**31 - 1 limit); at n = {n} a "
+                f"pool holds at most {fit} columns — shard the {cols} probe "
+                f"columns across >= {min_shards_for(n, cols)} shards "
+                f"(shards={min_shards_for(n, cols)})"
             )
         self.n = int(n)
         self.cols = int(cols)
+        self.label = label
         self._backend = backend
         self._dtype = np.dtype(dtype)
         capacity = max(1, min(int(capacity), self.full_capacity))
@@ -293,8 +366,24 @@ class CsrPool:
         if self.capacity >= needed:
             return
         new_cap = min(max(needed, 2 * self.capacity), self.full_capacity)
-        self.indices = self._backend.empty(new_cap, INDEX_DTYPE, "pool-indices")
-        self.data = self._backend.empty(new_cap, self._dtype, "pool-data")
+        self.indices = self._backend.empty(new_cap, INDEX_DTYPE, f"{self.label}-indices")
+        self.data = self._backend.empty(new_cap, self._dtype, f"{self.label}-data")
+
+    def release(self) -> None:
+        """Shrink ``indices``/``data`` to one-element stubs, freeing them.
+
+        Called by the serial sparse kernel after a shard's dense
+        handoff, when the CSR state has been gathered into dense slot
+        arrays and the pool's capacity is dead weight.  The pool stays
+        loadable — the next :meth:`load`/:meth:`ensure` simply regrows
+        from the stub.  Only meaningful on the private backend (the
+        engine gates on it): releasing manifest-listed arrays would
+        orphan segments that attached processes still map.
+        """
+        self.indices = self._backend.empty(1, INDEX_DTYPE, f"{self.label}-indices")
+        self.data = self._backend.empty(1, self._dtype, f"{self.label}-data")
+        self.indptr[0] = 0
+        self.nnz = 0
 
     def load(self, mat: sparse.csr_matrix) -> None:
         """Copy a scipy CSR matrix into the pool (casting dtypes)."""

@@ -87,7 +87,8 @@ class TrustMatrix:
                 rows, where="pre-validated trust matrix"
             )
         self._S = matrix
-        self._ST = matrix.T.tocsr()  # cached transpose for the iteration
+        #: lazily-built transposed CSR for the iteration (see _transpose)
+        self._ST: Optional[sparse.csr_matrix] = None
         #: lazily-built per-row sparse dict view (see sparse_rows)
         self._rows: Optional[List[Dict[int, float]]] = None
 
@@ -187,6 +188,21 @@ class TrustMatrix:
         """The underlying CSR matrix (do not mutate)."""
         return self._S
 
+    def _transpose(self) -> sparse.csr_matrix:
+        """The cached ``S^T`` in CSR form, built on first use.
+
+        Lazy because the gossip kernels never need it (they iterate
+        ``S`` itself; the exact oracle ``S^T @ v`` runs on the CSC
+        *view* ``S.T`` without a copy), while an eager transpose would
+        keep a second full-matrix CSR resident for the whole run —
+        ~240 MiB at n = 10^6, a tenth of the large-n RSS budget.
+        :meth:`aggregate` and :meth:`column` callers (the service
+        layer's repeated exact cycles) still pay the O(nnz) build once.
+        """
+        if self._ST is None:
+            self._ST = self._S.T.tocsr()
+        return self._ST
+
     def sparse_rows(self) -> List[Dict[int, float]]:
         """Per-node sparse row view: ``rows[i] == {j: s_ij}``.
 
@@ -220,7 +236,7 @@ class TrustMatrix:
         row granularity instead of discarding them.
         """
         self._rows = None
-        self._ST = self._S.T.tocsr()
+        self._ST = None
 
     # -- incremental updates -------------------------------------------------
 
@@ -243,10 +259,11 @@ class TrustMatrix:
         Cache coherence is row-level: when the :meth:`sparse_rows` view
         has been materialized, only the changed entries are replaced —
         the other ``n - k`` row dicts survive untouched, so message-level
-        engines keep their warm view.  The cached transpose is refreshed
-        from the new CSR (one O(nnz) C-level pass; the transpose scatters
-        a row change across many columns, so a sub-row patch would not
-        pay for itself).
+        engines keep their warm view.  A materialized transpose is
+        refreshed from the new CSR (one O(nnz) C-level pass; the
+        transpose scatters a row change across many columns, so a
+        sub-row patch would not pay for itself); one never built stays
+        lazy.
 
         Complexity: O(nnz) array copies plus O(k) Python work for ``k``
         changed rows — no re-normalization, re-validation, or row-view
@@ -318,7 +335,9 @@ class TrustMatrix:
                 sums, where=f"apply_row_deltas({len(norm)} rows)"
             )
         self._S = patched
-        self._ST = patched.T.tocsr()
+        # Keep a warm transpose warm (the service layer aggregates
+        # every epoch); never materialize one that was not yet needed.
+        self._ST = patched.T.tocsr() if self._ST is not None else None
         if self._rows is not None:
             for i, row_dict in norm.items():
                 self._rows[i] = dict(row_dict)
@@ -333,14 +352,14 @@ class TrustMatrix:
 
     def column(self, j: int) -> np.ndarray:
         """Dense column ``j`` of ``S`` — all normalized scores about node j."""
-        return np.asarray(self._ST.getrow(j).todense()).ravel()
+        return np.asarray(self._transpose().getrow(j).todense()).ravel()
 
     # -- the aggregation primitive -------------------------------------------
 
     def aggregate(self, v: np.ndarray) -> np.ndarray:
         """One exact aggregation cycle: ``S^T @ v`` (Eq. 2)."""
         vv = check_vector("v", v, size=self.n)
-        return self._ST @ vv
+        return self._transpose() @ vv
 
     def spectral_gap(self) -> Tuple[float, float]:
         """(|lambda_1|, |lambda_2|) of ``S`` — controls cycle count d (§4.1).

@@ -228,10 +228,13 @@ class TestGT002:
     def test_repo_hot_regions_are_clean(self):
         # Minimum marker counts pin the kernels' coverage: engine.py
         # carries the fast kernel's step loop plus the sparse kernel's
-        # five regions (step loop, mixing fill, SpGEMM, tile gather,
-        # blocked check); vector.py its two merge/fill loops.
+        # regions (step loop, mixing fill, SpGEMM, dense SpMM step,
+        # tile gather/load, blocked check); shard_exec.py the worker's
+        # mixing fill and shard advance; vector.py its two merge/fill
+        # loops.
         for rel, floor in (
-            ("src/repro/gossip/engine.py", 6),
+            ("src/repro/gossip/engine.py", 8),
+            ("src/repro/gossip/shard_exec.py", 2),
             ("src/repro/gossip/vector.py", 2),
         ):
             src = SourceFile.read(str(REPO / rel))

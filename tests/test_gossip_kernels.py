@@ -397,3 +397,246 @@ class TestSparseKernel:
         res = _cycle(N, S, v, mode="probe", kernel="sparse")
         assert set(res.phase_times) >= {"setup", "oracle", "alloc", "kernel"}
         assert all(t >= 0.0 for t in res.phase_times.values())
+
+
+class TestShardedSparseKernel:
+    """Column sharding must be invisible: any shard/worker split of the
+    probe working set replays the identical SpGEMM sequence, so steps,
+    scores, and gossip error are *bitwise* equal to the unsharded run."""
+
+    @pytest.mark.parametrize("n", [250, 1000])
+    @pytest.mark.parametrize("mode", ["probe", "full"])
+    def test_shard_count_invariance(self, n, mode):
+        S, v = _instance(n)
+        base = _cycle(n, S, v, mode=mode, kernel="sparse")
+        for shards in (2, 7):
+            res = _cycle(n, S, v, mode=mode, kernel="sparse", shards=shards)
+            assert res.steps == base.steps
+            np.testing.assert_array_equal(res.v_next, base.v_next)
+            assert res.gossip_error == base.gossip_error
+
+    @pytest.mark.parametrize("dtype", ["float64", "float32"])
+    def test_shard_invariance_both_dtypes(self, dtype):
+        S, v = _instance(250)
+        base = _cycle(250, S, v, mode="probe", kernel="sparse", dtype=dtype)
+        res = _cycle(
+            250, S, v, mode="probe", kernel="sparse", dtype=dtype, shards=7
+        )
+        assert res.steps == base.steps
+        np.testing.assert_array_equal(res.v_next, base.v_next)
+        assert res.gossip_error == base.gossip_error
+
+    def _worker_cycle(self, n, S, v, *, mode="probe", backend="shared", **opts):
+        eng = make_engine(
+            "sync", n=n, rng=RngStreams(SEED), epsilon=EPSILON,
+            mode=mode, kernel="sparse", workspace_backend=backend, **opts,
+        )
+        try:
+            return eng.run_cycle(S, v)
+        finally:
+            eng.invalidate_workspace()  # shuts the executor, frees segments
+
+    @pytest.mark.parametrize("n", [250, 1000])
+    @pytest.mark.parametrize("backend", ["shared", "memmap"])
+    def test_shard_workers_invariance(self, n, backend):
+        """Worker processes attach the pools by manifest and step their
+        shards in place — results equal single-process stepping exactly."""
+        S, v = _instance(n)
+        base = _cycle(n, S, v, mode="probe", kernel="sparse", shards=2)
+        res = self._worker_cycle(
+            n, S, v, backend=backend, shards=2, shard_workers=4
+        )
+        assert res.steps == base.steps
+        np.testing.assert_array_equal(res.v_next, base.v_next)
+        assert res.gossip_error == base.gossip_error
+
+    def test_shard_workers_full_mode(self):
+        S, v = _instance(250)
+        base = _cycle(250, S, v, mode="full", kernel="sparse")
+        res = self._worker_cycle(
+            250, S, v, mode="full", shards=3, shard_workers=4
+        )
+        assert res.steps == base.steps
+        np.testing.assert_array_equal(res.v_next, base.v_next)
+
+    def test_sanitizer_armed_sharded(self):
+        """The armed invariant sanitizer passes over sharded state (and
+        parallel-stepped state) exactly as over the unsharded kernel."""
+        S, v = _instance(N)
+        base = _cycle(N, S, v, mode="probe", kernel="sparse")
+        eng = make_engine(
+            "sync", n=N, rng=RngStreams(SEED), epsilon=EPSILON,
+            mode="probe", kernel="sparse", shards=3, shard_workers=2,
+            workspace_backend="shared",
+        )
+        eng.arm_sanitizer()
+        try:
+            res = eng.run_cycle(S, v)
+        finally:
+            eng.invalidate_workspace()
+        assert res.steps == base.steps
+        np.testing.assert_array_equal(res.v_next, base.v_next)
+        assert eng.sanitizer.checks > 0
+
+    def test_auto_shard_raise_for_int32_guard(self):
+        """A probe width whose pool would overflow int32 indexing is
+        auto-split into the minimum legal shard count."""
+        from repro.gossip.memory import min_shards_for
+
+        eng = SynchronousGossipEngine(2**17, kernel="sparse")
+        assert eng._effective_shards(64) == 1
+        assert eng._effective_shards(2**15) == min_shards_for(2**17, 2**15) == 3
+        wide = SynchronousGossipEngine(2**17, kernel="sparse", shards=5)
+        assert wide._effective_shards(2**15) == 5  # explicit count kept
+
+    def test_executor_lifecycle(self):
+        """The shard executor follows the workspace: built lazily on the
+        first parallel cycle, shut down by invalidation, rebuilt after."""
+        S, v = _instance(N)
+        eng = make_engine(
+            "sync", n=N, rng=RngStreams(SEED), epsilon=EPSILON,
+            mode="probe", kernel="sparse", shards=2, shard_workers=2,
+            workspace_backend="shared",
+        )
+        serial = make_engine(
+            "sync", n=N, rng=RngStreams(SEED), epsilon=EPSILON,
+            mode="probe", kernel="sparse",
+        )
+        assert eng._shard_executor is None
+        first = eng.run_cycle(S, v)
+        assert eng._shard_executor is not None
+        second = eng.run_cycle(S, v)  # executor reused across cycles
+        eng.invalidate_workspace()
+        assert eng._shard_executor is None
+        # The reused executor's second cycle must still replay the
+        # serial engine exactly (workers address pools through the
+        # logical -> physical slot map, which rotates between cycles).
+        np.testing.assert_array_equal(first.v_next, serial.run_cycle(S, v).v_next)
+        np.testing.assert_array_equal(second.v_next, serial.run_cycle(S, v).v_next)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            SynchronousGossipEngine(8, kernel="fast", shards=2)
+        with pytest.raises(ValidationError):
+            SynchronousGossipEngine(8, kernel="fast", shard_workers=2)
+        with pytest.raises(ValidationError):
+            SynchronousGossipEngine(8, kernel="sparse", shards=0)
+        with pytest.raises(ValidationError):
+            SynchronousGossipEngine(8, kernel="sparse", shard_workers=0)
+        with pytest.raises(ValidationError):
+            # parallel stepping needs attachable buffers
+            SynchronousGossipEngine(8, kernel="sparse", shard_workers=2)
+
+
+class TestDenseHandoff:
+    """Serial private-backend sparse cycles hand shards off to dense
+    slot stepping mid-cycle (csr_matvecs SpMM instead of SpGEMM).  The
+    handoff must be bitwise invisible: same accumulation order, absent
+    CSR entries become exact dense zeros — so every result must equal
+    the pure-CSR path (which shared/memmap serial runs still take)."""
+
+    def test_handoff_fires_and_releases_pools(self):
+        """A converged serial private cycle has handed every shard off
+        (convergence needs full W occupancy, far past any threshold)
+        and shrunk the CSR pools to stubs."""
+        S, v = _instance(250)
+        eng = make_engine(
+            "sync", n=250, rng=RngStreams(SEED), epsilon=EPSILON,
+            mode="probe", kernel="sparse", shards=2,
+        )
+        res = eng.run_cycle(S, v)
+        assert res.converged
+        ws = eng.sparse_workspace
+        assert all(ws.dense_on)
+        for si, triple in enumerate(ws.shard_pools):
+            assert ws.dense[si] is not None
+            assert all(d.shape == (250, triple[0].cols) for d in ws.dense[si])
+            assert all(pool.capacity == 1 for pool in triple)
+
+    @pytest.mark.parametrize("backend", ["shared", "memmap"])
+    def test_handoff_matches_pure_csr_serial(self, backend):
+        """Shared/memmap serial runs keep pooled CSR for the whole
+        cycle (released arrays would dangle their manifests) — the
+        private run's dense handoff must match them bitwise."""
+        S, v = _instance(250)
+        private = _cycle(250, S, v, mode="probe", kernel="sparse", shards=2)
+        eng = make_engine(
+            "sync", n=250, rng=RngStreams(SEED), epsilon=EPSILON,
+            mode="probe", kernel="sparse", shards=2,
+            workspace_backend=backend,
+        )
+        try:
+            pure = eng.run_cycle(S, v)
+            assert not any(eng.sparse_workspace.dense_on)
+        finally:
+            eng.invalidate_workspace()
+        assert private.steps == pure.steps
+        np.testing.assert_array_equal(private.v_next, pure.v_next)
+        assert private.gossip_error == pure.gossip_error
+
+    @pytest.mark.parametrize("dtype", ["float64", "float32"])
+    @pytest.mark.parametrize("threshold", [0.0, 0.1, 1.0])
+    def test_handoff_point_invariance(self, threshold, dtype):
+        """Results are invariant in *when* the handoff happens — from
+        densify-immediately to only-at-full-occupancy."""
+        S, v = _instance(250)
+        base = _cycle(250, S, v, mode="probe", kernel="sparse", dtype=dtype)
+        res = _cycle(
+            250, S, v, mode="probe", kernel="sparse", dtype=dtype,
+            densify_threshold=threshold, shards=3,
+        )
+        assert res.steps == base.steps
+        np.testing.assert_array_equal(res.v_next, base.v_next)
+        assert res.gossip_error == base.gossip_error
+
+    def test_handoff_multi_cycle_reuse(self):
+        """Cycle 2 reloads the released pools and hands off again; both
+        cycles must match a pure-CSR (memmap serial) engine bitwise."""
+        S, v = _instance(250)
+        dense_eng = make_engine(
+            "sync", n=250, rng=RngStreams(SEED), epsilon=EPSILON,
+            mode="probe", kernel="sparse", shards=2,
+        )
+        csr_eng = make_engine(
+            "sync", n=250, rng=RngStreams(SEED), epsilon=EPSILON,
+            mode="probe", kernel="sparse", shards=2,
+            workspace_backend="memmap",
+        )
+        try:
+            for _ in range(2):
+                got = dense_eng.run_cycle(S, v)
+                want = csr_eng.run_cycle(S, v)
+                assert got.steps == want.steps
+                np.testing.assert_array_equal(got.v_next, want.v_next)
+        finally:
+            csr_eng.invalidate_workspace()
+
+    def test_handoff_full_mode_and_sanitizer(self):
+        """Full mode exercises the dense mass/nonnegativity sanitizer
+        branches over handed-off state; result matches the fast kernel
+        to accumulation-order rounding."""
+        S, v = _instance(N)
+        fast = _cycle(N, S, v, mode="full", kernel="fast")
+        eng = make_engine(
+            "sync", n=N, rng=RngStreams(SEED), epsilon=EPSILON,
+            mode="full", kernel="sparse",
+        )
+        eng.arm_sanitizer()
+        res = eng.run_cycle(S, v)
+        assert all(eng.sparse_workspace.dense_on)
+        assert eng.sanitizer.checks > 0
+        assert res.steps == fast.steps
+        np.testing.assert_allclose(res.v_next, fast.v_next, rtol=1e-12)
+
+    def test_budget_exhaustion_reads_dense_state(self):
+        """The best-effort estimates path (_sparse_estimates) reads
+        normalized dense slots when the budget runs out post-handoff."""
+        S, v = _instance(250)
+        eng = make_engine(
+            "sync", n=250, rng=RngStreams(SEED), epsilon=1e-12,
+            mode="probe", kernel="sparse", max_steps=40,
+        )
+        res = eng.run_cycle(S, v, raise_on_budget=False)
+        assert not res.converged and res.steps == 40
+        assert all(eng.sparse_workspace.dense_on)
+        assert np.isfinite(res.gossip_error)

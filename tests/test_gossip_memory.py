@@ -22,6 +22,8 @@ from repro.gossip.memory import (
     PrivateBuffers,
     SharedMemoryBuffers,
     make_backend,
+    max_pool_columns,
+    min_shards_for,
 )
 
 
@@ -147,6 +149,37 @@ class TestCsrPool:
                 2**17, 2**15, capacity=4, dtype=np.float64,
                 backend=PrivateBuffers(),
             )
+
+    def test_int32_range_guard_is_actionable(self):
+        """The guard message says how many columns *would* fit and the
+        shard count that makes the requested shape legal."""
+        n, cols = 2**17, 2**15
+        with pytest.raises(ValidationError) as exc:
+            CsrPool(n, cols, capacity=4, dtype=np.float64, backend=PrivateBuffers())
+        msg = str(exc.value)
+        assert str(max_pool_columns(n)) in msg  # max columns at this n
+        assert f"shards={min_shards_for(n, cols)}" in msg  # the fix
+
+    def test_max_pool_columns_bounds(self):
+        n = 10**6
+        fit = max_pool_columns(n)
+        # The reported bound is sharp: fit columns pass, fit+1 fails.
+        assert n * fit < np.iinfo(np.int32).max
+        assert n * (fit + 1) >= np.iinfo(np.int32).max
+        CsrPool(n, fit, capacity=4, dtype=np.float64, backend=PrivateBuffers())
+        with pytest.raises(ValidationError):
+            CsrPool(n, fit + 1, capacity=4, dtype=np.float64, backend=PrivateBuffers())
+
+    def test_min_shards_for_restores_legality(self):
+        n, cols = 2**17, 2**15
+        k = min_shards_for(n, cols)
+        assert k > 1
+        # Sharding cols over k pools brings every shard under the guard
+        # (shard widths differ by at most 1 under contiguous splitting).
+        widest = -(-cols // k)
+        assert n * widest < np.iinfo(np.int32).max
+        # One shard fewer would not fit.
+        assert n * -(-cols // (k - 1)) >= np.iinfo(np.int32).max
 
     def test_float32_pool(self):
         mat = _small_csr()

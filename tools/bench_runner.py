@@ -53,10 +53,23 @@ Since schema 4:
   ``--large-only`` runs just this tier and exits non-zero when a
   budget is blown (the ``make bench-large`` gate).
 
+Since schema 5:
+
+* every ``large_n`` point records the sparse kernel's column-shard
+  configuration (``shards``/``shard_workers``) — the standing tiers run
+  sharded (``shards=2``) to keep the shard-invariant path on the
+  recorded trajectory;
+* an opt-in ``--xlarge`` flag extends the tier with the n = 10^6 point
+  (``shards=4``, streaming matrix construction, ~2*10^7 edges) against
+  explicit budgets — 3 GiB peak RSS for float64, 2 GiB for float32,
+  with generous single-core wall ceilings.  ``make bench-xlarge`` is
+  the gated entry point (``--large-only --xlarge``); the default and
+  ``--quick`` sweeps never pay for it.
+
 Usage::
 
     PYTHONPATH=src python tools/bench_runner.py [--quick] [--large-only]
-        [--output PATH] [--label TEXT] [--commit SHA]
+        [--xlarge] [--output PATH] [--label TEXT] [--commit SHA]
 """
 
 from __future__ import annotations
@@ -107,13 +120,26 @@ SERVICE_EPOCHS = 4
 SERVICE_EPOCHS_QUICK = 2
 #: large-n sparse-kernel tier (quick mode runs the first point only)
 LARGE_N_SWEEP = (10_000, 100_000)
+#: the opt-in ``--xlarge`` extension point (``make bench-xlarge``)
+XLARGE_N = 1_000_000
 #: per-n budgets for the large tier: peak RSS (KiB) and wall time (s).
-#: The 10^5 RSS budget is the ISSUE acceptance line (2 GiB); wall
+#: The 10^5 RSS budget is a prior acceptance line (2 GiB); the 10^6
+#: budgets are per-dtype (3 GiB float64 / 2 GiB float32 — the pools,
+#: the dense prev buffer, and the ~2*10^7-edge matrix together).  Wall
 #: budgets are ~4x the observed single-core times, loose enough for CI.
 LARGE_N_BUDGETS = {
     10_000: {"rss_kib": 1 * 1024 * 1024, "wall_s": 60.0},
     100_000: {"rss_kib": 2 * 1024 * 1024, "wall_s": 300.0},
+    XLARGE_N: {
+        "rss_kib": 3 * 1024 * 1024,
+        "rss_kib_float32": 2 * 1024 * 1024,
+        "wall_s": 1800.0,
+    },
 }
+#: sparse-kernel shard configuration per large-n point (schema 5): the
+#: standing tiers run 2-way sharded so the recorded trajectory always
+#: exercises the shard-invariant path; the 10^6 point splits 4 ways.
+LARGE_N_SHARDS = {10_000: 2, 100_000: 2, XLARGE_N: 4}
 
 
 def bench_cell(engine: str, n: int, repeats: int, **overrides) -> dict:
@@ -331,28 +357,36 @@ def run_service(quick: bool) -> dict:
     }
 
 
-def run_large_n(quick: bool) -> dict:
-    """The schema-4 section: the memory-bounded sparse kernel at large n.
+def run_large_n(quick: bool, xlarge: bool = False) -> dict:
+    """The schema-4/5 section: the memory-bounded sparse kernel at large n.
 
     One converged probe-mode cycle per (n, dtype) on the pinned
-    synthetic matrix, ``kernel="sparse"`` with workspace reuse on —
-    the configuration the ISSUE acceptance line budgets (n = 10^5
-    within 2 GiB peak RSS).  Peak RSS is metered per point, with the
-    meter started *after* the trust matrix is built so the reading is
-    the kernel's own working set on top of the resident baseline.
-    float32 points also record their score deviation against the
-    float64 run at the same n (probe mode substitutes the exact oracle
-    column, so this is ~0 by construction; the per-point
-    ``gossip_error`` is what carries the dtype's estimate quality).
+    synthetic matrix, ``kernel="sparse"`` with workspace reuse on and
+    the schema-5 shard split applied (results are shard-count
+    invariant; the trajectory keeps the sharded path measured).  Peak
+    RSS is metered per point, with the meter started *after* the trust
+    matrix is built so the reading is the kernel's own working set on
+    top of the resident baseline.  float32 points also record their
+    score deviation against the float64 run at the same n (probe mode
+    substitutes the exact oracle column, so this is ~0 by
+    construction; the per-point ``gossip_error`` is what carries the
+    dtype's estimate quality) and check against the per-dtype RSS
+    budget when one is set (the 10^6 point: 3 GiB float64 / 2 GiB
+    float32).  ``xlarge`` appends the n = 10^6 point — minutes of
+    single-core SpGEMM, so it stays behind ``make bench-xlarge``.
     """
     tiers = LARGE_N_SWEEP[:1] if quick else LARGE_N_SWEEP
+    if xlarge:
+        tiers = tuple(tiers) + (XLARGE_N,)
     points = []
     for n in tiers:
         budget = LARGE_N_BUDGETS[n]
+        shards = LARGE_N_SHARDS[n]
         S = synthetic_trust_matrix(n, rng=RngStreams(SEED).get("matrix"))
         v = np.full(n, 1.0 / n)
         v64 = None
         for dtype in ("float64", "float32"):
+            rss_budget = budget.get(f"rss_kib_{dtype}", budget["rss_kib"])
             eng = make_engine(
                 "sync",
                 n=n,
@@ -361,6 +395,7 @@ def run_large_n(quick: bool) -> dict:
                 mode="probe",
                 kernel="sparse",
                 dtype=dtype,
+                shards=shards,
             )
             meter = PeakRssMeter()
             t0 = time.perf_counter()
@@ -372,6 +407,8 @@ def run_large_n(quick: bool) -> dict:
                 "kernel": "sparse",
                 "mode": "probe",
                 "dtype": dtype,
+                "shards": shards,
+                "shard_workers": 1,
                 "wall_time_s": round(wall, 6),
                 "steps": int(result.steps),
                 "converged": bool(result.converged),
@@ -379,9 +416,9 @@ def run_large_n(quick: bool) -> dict:
                 "nnz": int(S.nnz),
                 "peak_rss_kib": rss,
                 "peak_rss_per_entry": meter.exact,
-                "rss_budget_kib": budget["rss_kib"],
+                "rss_budget_kib": rss_budget,
                 "wall_budget_s": budget["wall_s"],
-                "within_rss_budget": bool(rss <= budget["rss_kib"]),
+                "within_rss_budget": bool(rss <= rss_budget),
                 "within_wall_budget": bool(wall <= budget["wall_s"]),
                 "phases": {
                     k: round(float(s), 6)
@@ -394,14 +431,17 @@ def run_large_n(quick: bool) -> dict:
                 dev = float(np.max(np.abs(np.asarray(result.v_next) - v64)))
                 point["max_abs_dev_vs_float64"] = dev
             points.append(point)
+            del eng  # release the pools before the next dtype's run
             print(
-                f"{'large-n sparse dtype=' + dtype:55s} n={n:6d}  "
+                f"{'large-n sparse dtype=' + dtype:55s} n={n:7d}  "
                 f"{wall:8.3f}s  steps={point['steps']}  "
-                f"rss={rss / 1024:.0f} MiB (budget {budget['rss_kib'] / 1024:.0f})"
+                f"rss={rss / 1024:.0f} MiB (budget {rss_budget / 1024:.0f})"
             )
+        del S
     return {
         "tiers": list(tiers),
         "budgets": {str(n): LARGE_N_BUDGETS[n] for n in tiers},
+        "shards": {str(n): LARGE_N_SHARDS[n] for n in tiers},
         "points": points,
         "all_within_budget": all(
             p["within_rss_budget"] and p["within_wall_budget"] for p in points
@@ -409,19 +449,27 @@ def run_large_n(quick: bool) -> dict:
     }
 
 
-def run(quick: bool, *, label: str = "", commit: str = "", large_only: bool = False) -> dict:
+def run(
+    quick: bool,
+    *,
+    label: str = "",
+    commit: str = "",
+    large_only: bool = False,
+    xlarge: bool = False,
+) -> dict:
     if large_only:
         return {
-            "schema": 4,
+            "schema": 5,
             "quick": quick,
             "large_only": True,
+            "xlarge": xlarge,
             "seed": SEED,
             "epsilon": EPSILON,
             "label": label,
             "commit": commit,
             "python": platform.python_version(),
             "numpy": np.__version__,
-            "large_n": run_large_n(quick),
+            "large_n": run_large_n(quick, xlarge=xlarge),
         }
     repeats = 1 if quick else 3
     entries = []
@@ -444,8 +492,9 @@ def run(quick: bool, *, label: str = "", commit: str = "", large_only: bool = Fa
             )
             entries.append(cell)
     return {
-        "schema": 4,
+        "schema": 5,
         "quick": quick,
+        "xlarge": xlarge,
         "seed": SEED,
         "epsilon": EPSILON,
         # Caller-supplied provenance (empty when not passed); never read
@@ -457,7 +506,7 @@ def run(quick: bool, *, label: str = "", commit: str = "", large_only: bool = Fa
         "entries": entries,
         "end_to_end": run_end_to_end(quick),
         "service": run_service(quick),
-        "large_n": run_large_n(quick),
+        "large_n": run_large_n(quick, xlarge=xlarge),
     }
 
 
@@ -471,6 +520,12 @@ def main(argv=None) -> int:
         action="store_true",
         help="run only the large-n sparse-kernel tier; exit non-zero when a "
         "wall-time or peak-RSS budget is blown (the `make bench-large` gate)",
+    )
+    parser.add_argument(
+        "--xlarge",
+        action="store_true",
+        help="extend the large-n tier with the opt-in n=10^6 point "
+        "(minutes of single-core SpGEMM; the `make bench-xlarge` gate)",
     )
     parser.add_argument(
         "--output",
@@ -496,10 +551,11 @@ def main(argv=None) -> int:
         label=args.label,
         commit=args.commit,
         large_only=args.large_only,
+        xlarge=args.xlarge,
     )
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.output}")
-    if args.large_only and not payload["large_n"]["all_within_budget"]:
+    if (args.large_only or args.xlarge) and not payload["large_n"]["all_within_budget"]:
         print("large-n budget blown", file=sys.stderr)
         return 1
     return 0

@@ -50,9 +50,19 @@ lines += [
     "  steps over preallocated buffers via `csr_matvecs`; `\"sparse\"`:",
     "  the memory-bounded large-n path — X and W stay CSR for the whole",
     "  cycle in geometrically-grown `CsrPool`s, stepped by pooled",
-    "  `csr_matmat` SpGEMMs with blocked `csr_todense` estimate gathers;",
+    "  `csr_matmat` SpGEMMs with blocked `csr_todense` estimate gathers,",
+    "  with saturated shards handed off to dense SpMM slots",
+    "  (bitwise-identical; pool arrays released);",
     "  `\"legacy\"`: the reference per-step `csr_matrix` construction.",
     "  All consume the same partner stream and stop on the same step.",
+    "- **`shards`** — contiguous column shards the sparse kernel's",
+    "  probe working set splits into, each an independent pool triple",
+    "  (default 1; the int32-index floor `min_shards_for(n, p)` is",
+    "  applied automatically). Result-invariant (bitwise).",
+    "- **`shard_workers`** — worker processes stepping sparse-kernel",
+    "  shards concurrently (default 1 = serial). Workers attach the",
+    "  engine's `\"shared\"`/`\"memmap\"` workspace by manifest — no",
+    "  array pickling — and results are bitwise-identical to serial.",
     "- **`dtype`** — `\"float64\"` (default) or `\"float32\"` (halves",
     "  workspace memory; estimate drift stays orders below epsilon, and",
     "  an armed sanitizer widens its conservation tolerance to 1e-4).",
@@ -67,7 +77,8 @@ lines += [
     "  within `8x epsilon` the fast kernel switches to per-step checks,",
     "  so the reported step count keeps Algorithm 1's granularity.",
     "- **`densify_threshold`** — occupied-fraction at which the fast",
-    "  kernel switches from sparse warm-start products to dense steps",
+    "  kernel switches from sparse warm-start products to dense steps,",
+    "  and at which the sparse kernel hands a shard off to dense SpMM",
     "  (default 0.25; `0.0` starts dense immediately). Result-invariant.",
     "- **`mode`** — `\"full\"` tracks all n columns; `\"probe\"` tracks",
     "  `probe_columns` sampled columns (plus the heaviest-mass column)",
@@ -93,12 +104,13 @@ lines += [
     "worker count (`--workers` on the CLI).",
     "",
     "Run `PYTHONPATH=src python tools/bench_runner.py` to regenerate the",
-    "tracked benchmark trajectory in `BENCH_engines.json` (schema 4:",
+    "tracked benchmark trajectory in `BENCH_engines.json` (schema 5:",
     "per-cycle engine grid with per-entry peak RSS and phase breakdowns,",
     "end-to-end `GossipTrust.run` and sweep-throughput sections, the",
     "service closed loop, and the `large_n` sparse-kernel tier with",
-    "per-point RSS/wall budgets — `make bench-large` runs just that tier",
-    "and fails when a budget is blown), or",
+    "per-point RSS/wall budgets and shard configuration — `make",
+    "bench-large` runs just that tier and fails when a budget is blown;",
+    "`make bench-xlarge` adds the opt-in n = 10^6 sharded point), or",
     "`pytest benchmarks/bench_engines.py` for the asserting comparisons",
     "(fast >= 3x legacy at n = 1000, sparse/fast step-and-score parity,",
     "the sparse RSS budget at n = 10^4, workspace reuse at least",
