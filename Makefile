@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint analyze typecheck ci bench bench-smoke bench-large bench-xlarge service-smoke sweep examples experiments docs clean
+.PHONY: install test lint analyze typecheck ci bench bench-smoke bench-large bench-xlarge service-smoke chaos-smoke sweep examples experiments docs clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -68,6 +68,18 @@ service-smoke:
 	REPRO_SANITIZE=1 PYTHONPATH=src $(PYTHON) -m repro.cli serve-sim \
 		--n 200 --epochs 3 --events 40 --queries 300 --seed 0
 	REPRO_SANITIZE=1 PYTHONPATH=src $(PYTHON) -m pytest tests/test_service.py -q
+
+# Chaos soak: the churn-resilience sweep (scripted crash bursts) across
+# both DES engines and all four partner strategies with every runtime
+# invariant check armed, then the robustness test files under the same
+# posture (see src/repro/network/faultplan.py and gossip/partnering.py).
+chaos-smoke:
+	REPRO_SANITIZE=1 PYTHONPATH=src $(PYTHON) -m repro.cli run resilience \
+		--quick --set n=48 --set strategies=global,neighbors,hyparview,brahms \
+		--set engines=message,async
+	REPRO_SANITIZE=1 PYTHONPATH=src $(PYTHON) -m pytest -q \
+		tests/test_gossip_partnering.py tests/test_network_reliability.py \
+		tests/test_network_faultplan.py tests/test_experiments_resilience.py
 
 # Demo of the parallel sweep runner: a quick experiment fanned over 2
 # worker processes (results are identical to --workers 1, only faster

@@ -6,7 +6,9 @@ the parallel sweep runner.  A wall-clock read in any of them is either a
 determinism bug (behaviour branching on real time) or misplaced
 telemetry; both belong in the measurement layer.
 
-Flagged inside ``core/``, ``gossip/``, ``sim/``, and ``trust/``:
+Flagged inside ``core/``, ``gossip/``, ``network/``, ``sim/``, and
+``trust/`` (the network layer — transport, membership, fault plans —
+replays on the simulated clock like everything else):
 
 * references to ``time.time``, ``time.perf_counter``,
   ``time.monotonic``, ``time.process_time`` (calls *or* bare
@@ -42,7 +44,13 @@ class NoWallClockRule(Rule):
 
     code = "GT003"
     summary = "no wall-clock (time.*/datetime.now) in the deterministic core"
-    include = ("repro/core/", "repro/gossip/", "repro/sim/", "repro/trust/")
+    include = (
+        "repro/core/",
+        "repro/gossip/",
+        "repro/network/",
+        "repro/sim/",
+        "repro/trust/",
+    )
     exclude = ("repro/metrics/telemetry.py", "repro/utils/proc.py")
 
     def check(self, src: SourceFile) -> Iterator[Violation]:

@@ -119,6 +119,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--set workspace_backend=shared or =memmap)",
     )
     run_p.add_argument(
+        "--strategy",
+        default=None,
+        metavar="NAME",
+        help="partner strategy for message-level engines "
+        "(global | neighbors | hyparview | brahms; shorthand for "
+        "--set strategy=NAME)",
+    )
+    run_p.add_argument(
         "--set",
         dest="overrides",
         action="append",
@@ -216,6 +224,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             overrides["shards"] = args.shards
         if args.shard_workers is not None:
             overrides["shard_workers"] = args.shard_workers
+        if args.strategy is not None:
+            overrides["strategy"] = args.strategy
         result = run_experiment(args.experiment, quick=args.quick, **overrides)
         print(result.render(chart=args.chart))
         return 0

@@ -85,6 +85,18 @@ class GossipTrustConfig:
         live: ``"private"`` (default, ordinary heap), ``"shared"``
         (POSIX shared-memory segments other processes can attach), or
         ``"memmap"`` (file-backed maps the OS can evict).
+    partner_strategy:
+        How the message-level engines pick gossip partners: a name from
+        the :mod:`~repro.gossip.partnering` registry (``"global"``,
+        ``"neighbors"``, ``"hyparview"``, ``"brahms"``).  The default
+        ``"global"`` is the omniscient-membership oracle the paper's
+        analysis assumes; the partial-view protocols maintain realistic
+        membership over the simulated transport.  Vectorized engines
+        (``sync``/``structured``) ignore it.
+    mass_restore_budget:
+        Self-healing threshold on per-cycle ``mass_lost_fraction`` for
+        the message-level engines; ``None`` (default) disables the
+        mass-restoration guard.
     compute_reference:
         Whether :meth:`GossipTrust.run` computes the exact-aggregation
         oracle for error reporting.  The oracle costs O(n * cycles)
@@ -118,6 +130,8 @@ class GossipTrustConfig:
     shards: int = 1
     shard_workers: int = 1
     workspace_backend: str = "private"
+    partner_strategy: str = "global"
+    mass_restore_budget: Optional[float] = None
     compute_reference: bool = True
     seed: Optional[int] = None
     sanitize: bool = field(default_factory=sanitize_enabled)
@@ -192,6 +206,22 @@ class GossipTrustConfig:
         if self.workspace_backend not in ("private", "shared", "memmap"):
             raise ConfigurationError(
                 f"unknown workspace_backend {self.workspace_backend!r}"
+            )
+        # Same lazy-registry pattern as the engine check above.
+        from repro.gossip.partnering import strategy_names
+
+        if self.partner_strategy not in strategy_names():
+            known = ", ".join(strategy_names())
+            raise ConfigurationError(
+                f"unknown partner_strategy {self.partner_strategy!r}; "
+                f"registered: {known}"
+            )
+        if self.mass_restore_budget is not None and not (
+            0.0 < self.mass_restore_budget < 1.0
+        ):
+            raise ConfigurationError(
+                f"mass_restore_budget must be in (0, 1) or None, "
+                f"got {self.mass_restore_budget}"
             )
         if self.shard_workers > 1 and self.workspace_backend == "private":
             raise ConfigurationError(

@@ -47,6 +47,7 @@ def _one_cycle(
     departures: int = 0,
     epsilon: float = 1e-4,
     engine: str = "message",
+    round_interval: float = 2.0,
     telemetry: Optional[CycleTelemetry] = None,
 ):
     """Run one message-level cycle under the given fault injection."""
@@ -71,15 +72,20 @@ def _one_cycle(
         transport=transport,
         overlay=overlay,
         epsilon=epsilon,
-        round_interval=2.0,
+        round_interval=round_interval,
         max_rounds=300,
     )
     if departures > 0:
         gen = streams.get("churn")
         victims = gen.choice(n, size=departures, replace=False)
-        # Depart mid-cycle: schedule leaves a few rounds in.
+        # Depart mid-cycle: one leave per round, starting two rounds in.
+        # Scheduled in units of round_interval so changing the pacing
+        # keeps churn aligned with cycle progress (hard-coded absolute
+        # times would silently shift where in the cycle churn lands).
         for i, victim in enumerate(victims.tolist()):
-            sim.call_in(4.0 + 2.0 * i, _leave_if_alive, overlay, int(victim))
+            sim.call_in(
+                round_interval * (2 + i), _leave_if_alive, overlay, int(victim)
+            )
     v = np.full(n, 1.0 / n)
     if telemetry is not None:
         return telemetry.timed(1, eng, S, v)

@@ -12,6 +12,7 @@ from typing import Callable, Dict, Tuple
 
 from repro.errors import ExperimentError
 from repro.experiments.base import ExperimentResult
+from repro.experiments.churn_resilience import run_churn_resilience
 from repro.experiments.fault_tolerance import run_fault_tolerance
 from repro.experiments.fig3_gossip_steps import run_fig3
 from repro.experiments.fig4_malicious import run_fig4a, run_fig4b
@@ -35,6 +36,10 @@ _RUNNERS: Dict[str, Tuple[Callable[..., ExperimentResult], str]] = {
     "fig4b": (run_fig4b, "RMS error vs collusion group size"),
     "fig5": (run_fig5, "Query success rate, GossipTrust vs NoTrust"),
     "fault": (run_fault_tolerance, "Gossip error under loss/link failure/churn"),
+    "resilience": (
+        run_churn_resilience,
+        "Partner strategies under scripted crash/partition/loss chaos",
+    ),
     "storage": (run_storage, "Bloom reputation store: memory vs accuracy"),
     "overhead": (run_overhead, "Messages/hops vs DHT baselines"),
     "qof": (run_qof, "Quality-of-feedback weighting (s7 extension)"),
@@ -52,6 +57,7 @@ QUICK_OVERRIDES: Dict[str, Dict[str, object]] = {
     "fig4b": {"n": 200, "fractions": (0.05,), "group_sizes": (2, 6), "repeats": 1},
     "fig5": {"n": 150, "n_files": 3000, "gammas": (0.0, 0.2), "queries": 1200, "refresh_interval": 400, "repeats": 1},
     "fault": {"n": 48, "loss_rates": (0.0, 0.2), "link_failure_fractions": (0.0,), "departure_counts": (0, 4), "repeats": 1},
+    "resilience": {"n": 48, "strategies": ("global", "hyparview"), "plans": ("crash",), "engines": ("message",), "repeats": 1},
     "storage": {"n": 300, "bracket_bits": (4, 6), "repeats": 1},
     "overhead": {"sizes": (100, 200), "repeats": 1},
     "qof": {"n": 200, "gammas": (0.2, 0.4), "repeats": 1},

@@ -30,6 +30,7 @@ from repro.gossip.message_engine import (
     _batched_converged,
     _disagreement,
 )
+from repro.gossip.partnering import GlobalSampler, PartnerStrategy
 from repro.gossip.vector import EstimatesWorkspace, TripletVector
 from repro.network.overlay import Overlay
 from repro.network.transport import Message, Transport
@@ -57,6 +58,18 @@ class AsyncMessageGossipEngine(CycleEngine):
         ``2 * mean_interval`` so a check window spans ~2 sends per node.
     max_time:
         Simulated-time budget per cycle.
+    partnering:
+        A :class:`~repro.gossip.partnering.PartnerStrategy` deciding who
+        each node gossips with; defaults to the global sampler (the
+        historical behaviour, bit-identical).
+    mass_restore_budget:
+        Self-healing threshold on ``mass_lost_fraction`` measured at the
+        monitor cadence (``None`` disables the guard).  Because mass is
+        in flight between Poisson sends, the only safe restoration here
+        is ``"restart"``: the engine quiesces the clocks, drains the
+        transport, re-initializes every live node, and resumes — uniform
+        renormalization would over-restore once in-flight mass landed,
+        creating mass and tripping the one-sided conservation bound.
     """
 
     name = "async"
@@ -71,11 +84,25 @@ class AsyncMessageGossipEngine(CycleEngine):
         mean_interval: float = 1.0,
         check_interval: Optional[float] = None,
         max_time: float = 2000.0,
+        partnering: Optional[PartnerStrategy] = None,
+        mass_restore_budget: Optional[float] = None,
+        mass_restore_action: str = "restart",
         rng: SeedLike = None,
     ) -> None:
         check_in_range("epsilon", epsilon, low=0.0, low_inclusive=False)
         check_positive("mean_interval", mean_interval)
         check_positive("max_time", max_time)
+        if mass_restore_budget is not None:
+            check_in_range(
+                "mass_restore_budget", mass_restore_budget,
+                low=0.0, high=1.0, low_inclusive=False, high_inclusive=False,
+            )
+        if mass_restore_action != "restart":
+            raise ValidationError(
+                "the async engine only supports mass_restore_action='restart' "
+                "(renormalizing while mass is in flight would create mass); "
+                f"got {mass_restore_action!r}"
+            )
         self.sim = sim
         self.transport = transport
         self.overlay = overlay
@@ -85,6 +112,16 @@ class AsyncMessageGossipEngine(CycleEngine):
             float(check_interval) if check_interval is not None else 2.0 * mean_interval
         )
         self.max_time = float(max_time)
+        if partnering is None:
+            partnering = GlobalSampler()
+        self.partnering = partnering
+        self.partnering.bind(sim, transport, overlay)
+        self.mass_restore_budget = (
+            float(mass_restore_budget) if mass_restore_budget is not None else None
+        )
+        self.mass_restore_action = mass_restore_action
+        #: gossip halves delivered to departed/uninitialized nodes
+        self.discarded = 0
         self._rng = as_generator(rng)
         self._states: Dict[int, TripletVector] = {}
         #: per-node TripletVectors recycled across cycles (see message_engine)
@@ -92,6 +129,7 @@ class AsyncMessageGossipEngine(CycleEngine):
         #: reusable buffers for the monitor's estimate matrices
         self._est_ws = EstimatesWorkspace()
         self._running = False
+        self._gen = 0
         self.sends = 0
         self.cycle_steps = []
         for node in range(overlay.n):
@@ -100,21 +138,34 @@ class AsyncMessageGossipEngine(CycleEngine):
     # -- protocol ----------------------------------------------------------
 
     def _on_message(self, msg: Message) -> None:
+        if msg.kind != "gossip":
+            self.partnering.on_message(msg)
+            return
         state = self._states.get(msg.dst)
         if state is None or not self.overlay.is_alive(msg.dst):
+            self.discarded += 1  # mass vanished without a transport drop
             return
         state.merge(msg.payload)
 
-    def _node_process(self, node: int) -> Iterator[float]:
-        """One peer's Poisson gossip clock."""
-        while self._running:
+    def _node_process(self, node: int, gen: int) -> Iterator[float]:
+        """One peer's Poisson gossip clock.
+
+        ``gen`` is the spawn generation: a cycle restart bumps the
+        engine generation, so clocks from before the restart exit at
+        their next wake instead of gossiping stale state.
+        """
+        while self._running and gen == self._gen:
             yield float(self._rng.exponential(self.mean_interval))
-            if not self._running or not self.overlay.is_alive(node):
+            if (
+                not self._running
+                or gen != self._gen
+                or not self.overlay.is_alive(node)
+            ):
                 return
             state = self._states.get(node)
             if state is None:
                 return
-            partner = self.overlay.random_partner(node)
+            partner = self.partnering.partner(node)
             if partner is None:
                 continue
             sent = state.halve()
@@ -160,16 +211,20 @@ class AsyncMessageGossipEngine(CycleEngine):
 
         sent_before = self.transport.sent
         dropped_before = self.transport.drop_count
+        discarded_before = self.discarded
         self.sends = 0
         self._running = True
+        self._gen += 1
+        self.partnering.start()
         for node in self.overlay.alive_nodes().tolist():
-            self.sim.process(self._node_process(int(node)))
+            self.sim.process(self._node_process(int(node), self._gen))
 
         deadline = self.sim.now + self.max_time
         prev_ids: tuple = ()
         prev_mat: Optional[np.ndarray] = None
         converged = False
         checks = 0
+        restorations = 0
         while self.sim.now < deadline:
             self.sim.run(until=min(self.sim.now + self.check_interval, deadline))
             checks += 1
@@ -178,19 +233,69 @@ class AsyncMessageGossipEngine(CycleEngine):
                 for node in self.overlay.alive_nodes().tolist()
                 if node in self._states
             )
-            if san is not None:
-                # Async sends leave mass in flight at sample time, so
-                # only the one-sided law holds mid-cycle: node-held
-                # mass never exceeds what the cycle started with.
-                mass_now = 0.0
-                for node in cur_ids:
-                    tv = self._states[node]
+            # Async sends leave mass in flight at sample time, so only
+            # the one-sided law holds mid-cycle: node-held mass never
+            # exceeds what the cycle started with.
+            mass_now = 0.0
+            for node in cur_ids:
+                tv = self._states[node]
+                if san is not None:
                     tv.check_invariants(san, owner=node, step=checks)
-                    mx, mw = tv.mass()
-                    mass_now += mx + mw
+                mx, mw = tv.mass()
+                mass_now += mx + mw
+            if san is not None:
                 san.check_mass_bounded(
                     "total x+w mass", mass_now, initial_mass, step=checks
                 )
+            if (
+                self.mass_restore_budget is not None
+                and initial_mass > 0.0
+                and mass_now < (1.0 - self.mass_restore_budget) * initial_mass
+            ):
+                # The cheap sample counts only node-held mass; a large
+                # share can legitimately be *in flight* between Poisson
+                # sends (about latency/mean_interval messages per node,
+                # each carrying half its sender's mass).  A restart is
+                # destructive, so verify first: quiesce the clocks, let
+                # in-flight traffic land, and re-measure.
+                self._running = False
+                self.sim.run(
+                    until=self.sim.now + 3.0 * max(self.transport.latency, 1e-9)
+                )
+                drained_mass = 0.0
+                for node in self.overlay.alive_nodes().tolist():
+                    tv = self._states.get(node)
+                    if tv is not None:
+                        mx, mw = tv.mass()
+                        drained_mass += mx + mw
+                if drained_mass < (1.0 - self.mass_restore_budget) * initial_mass:
+                    # Genuine loss (drops, departures, discards): restart
+                    # every live node from a fresh vector.  Rounds
+                    # already spent stay counted (self.sends accumulates).
+                    restorations += 1
+                    self._states = {}
+                    initial_mass = 0.0
+                    for node in self.overlay.alive_nodes().tolist():
+                        tv = self._pool.get(node)
+                        if tv is None:
+                            tv = self._pool[node] = TripletVector(n)
+                        tv.reset(node, rows[node], prior_map, n=n)
+                        self._states[node] = tv
+                        mx, mw = tv.mass()
+                        initial_mass += mx + mw
+                    initial_live = frozenset(self._states)
+                    dropped_before = self.transport.drop_count
+                    discarded_before = self.discarded
+                    prev_ids, prev_mat = (), None
+                # False alarm (the mass was in flight): resume the same
+                # states under a new generation; the drain pause costs
+                # simulated time but no progress.
+                self._running = True
+                self._gen += 1
+                for node in self.overlay.alive_nodes().tolist():
+                    if node in self._states:
+                        self.sim.process(self._node_process(int(node), self._gen))
+                continue
             cur_mat = TripletVector.estimates_matrix(
                 [self._states[node] for node in cur_ids], n, workspace=self._est_ws
             )
@@ -203,6 +308,7 @@ class AsyncMessageGossipEngine(CycleEngine):
                 break
             prev_ids, prev_mat = cur_ids, cur_mat
         self._running = False
+        self.partnering.stop()
         # Drain in-flight messages: mass sent but not yet delivered is
         # not lost, it is late — let it land before accounting.
         self.sim.run(until=self.sim.now + 3.0 * max(self.transport.latency, 1e-9))
@@ -235,6 +341,7 @@ class AsyncMessageGossipEngine(CycleEngine):
             )
             if (
                 self.transport.drop_count == dropped_before
+                and self.discarded == discarded_before
                 and live_set == initial_live
             ):
                 san.check_mass("total x+w mass (drained)", final_mass, initial_mass)
@@ -256,6 +363,7 @@ class AsyncMessageGossipEngine(CycleEngine):
             messages_dropped=self.transport.drop_count - dropped_before,
             gossip_error=average_relative_error(v_next, exact),
             mass_lost_fraction=lost,
+            mass_restorations=restorations,
             node_estimates=node_estimates,
             live_nodes=live,
         )

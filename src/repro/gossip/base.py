@@ -79,6 +79,10 @@ class GossipCycleResult:
         Messages lost to the transport during the cycle.
     mass_lost_fraction:
         Fraction of the (x, w) push-sum mass lost to drops/departures.
+    mass_restorations:
+        Times the engine's mass-restoration guard fired during the
+        cycle (renormalize or restart; 0 when the guard is off or the
+        loss budget was never crossed).
     phase_times:
         Wall-clock seconds per cycle phase (``setup``, ``oracle``,
         ``alloc``, ``kernel``, ``estimate``) for engines that break
@@ -95,6 +99,7 @@ class GossipCycleResult:
     messages_sent: int = 0
     messages_dropped: int = 0
     mass_lost_fraction: float = 0.0
+    mass_restorations: int = 0
     phase_times: Dict[str, float] = field(default_factory=dict)
 
 

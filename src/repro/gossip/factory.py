@@ -180,6 +180,38 @@ def _substrate(
     return sim, transport, overlay
 
 
+def _apply_robustness(
+    config: "GossipTrustConfig",
+    streams: RngStreams,
+    overrides: Dict[str, Any],
+    kwargs: Dict[str, Any],
+) -> None:
+    """Resolve partner strategy + mass-restoration knobs for DES engines.
+
+    ``partner_strategy`` (a registry name) and ``strategy_kwargs`` may
+    arrive as overrides or from the config; a ready-built ``partnering``
+    instance in the overrides wins.  The strategy draws from the
+    dedicated ``"membership"`` stream, so membership maintenance never
+    perturbs the gossip/topology draw sequences (the determinism
+    contract's stream discipline).
+    """
+    name = overrides.pop(
+        "partner_strategy", getattr(config, "partner_strategy", "global")
+    )
+    strategy_kwargs = overrides.pop("strategy_kwargs", {})
+    if "partnering" not in overrides and name != "global":
+        from repro.gossip.partnering import make_strategy
+
+        kwargs["partnering"] = make_strategy(
+            name, rng=streams.get("membership"), **strategy_kwargs
+        )
+    budget = overrides.pop(
+        "mass_restore_budget", getattr(config, "mass_restore_budget", None)
+    )
+    if budget is not None:
+        kwargs["mass_restore_budget"] = budget
+
+
 # -- builders ----------------------------------------------------------------
 
 
@@ -240,6 +272,7 @@ def _build_message(
         round_interval=_DEFAULT_ROUND_INTERVAL,
         rng=streams.get("gossip"),
     )
+    _apply_robustness(config, streams, overrides, kwargs)
     kwargs.update(constructor_kwargs(MessageGossipEngine, overrides))
     return MessageGossipEngine(sim, transport, overlay, **kwargs)
 
@@ -255,6 +288,7 @@ def _build_async(
 ) -> CycleEngine:
     sim, transport, overlay = _substrate(n, streams, overrides, sim, transport, overlay)
     kwargs = dict(epsilon=config.epsilon, rng=streams.get("gossip"))
+    _apply_robustness(config, streams, overrides, kwargs)
     kwargs.update(constructor_kwargs(AsyncMessageGossipEngine, overrides))
     return AsyncMessageGossipEngine(sim, transport, overlay, **kwargs)
 

@@ -37,6 +37,11 @@ from repro.gossip.base import (
     local_rows,
 )
 from repro.gossip.convergence import average_relative_error
+from repro.gossip.partnering import (
+    GlobalSampler,
+    NeighborSampler,
+    PartnerStrategy,
+)
 from repro.gossip.vector import EstimatesWorkspace, TripletVector
 from repro.network.overlay import Overlay
 from repro.network.transport import Message, Transport
@@ -134,6 +139,23 @@ class MessageGossipEngine(CycleEngine):
     neighbors_only:
         Restrict partner choice to overlay neighbors (the paper permits
         either; global choice is the default analyzed by Kempe et al.).
+        Shorthand for ``partnering=NeighborSampler()``.
+    partnering:
+        A :class:`~repro.gossip.partnering.PartnerStrategy` deciding who
+        each node gossips with (and maintaining membership views over
+        this transport).  Default: the global sampler, bit-identical to
+        the engine's historical behaviour.
+    mass_restore_budget:
+        Self-healing threshold: when the measured ``mass_lost_fraction``
+        exceeds this value at a round boundary, the engine restores the
+        cycle's mass budget (``None`` disables the guard).
+    mass_restore_action:
+        ``"renormalize"`` — uniformly rescale every surviving vector by
+        ``initial/current`` mass (ratio-preserving, estimates untouched);
+        ``"restart"`` — re-initialize all live nodes' vectors and redo
+        the cycle from the current round.  Either way the one-sided
+        conservation bound stays intact: restoration never pushes held
+        mass above the cycle's initial budget.
     """
 
     name = "message"
@@ -149,6 +171,9 @@ class MessageGossipEngine(CycleEngine):
         max_rounds: int = 500,
         min_rounds: int = 2,
         neighbors_only: bool = False,
+        partnering: Optional[PartnerStrategy] = None,
+        mass_restore_budget: Optional[float] = None,
+        mass_restore_action: str = "renormalize",
         rng: SeedLike = None,
     ) -> None:
         check_in_range("epsilon", epsilon, low=0.0, low_inclusive=False)
@@ -159,6 +184,16 @@ class MessageGossipEngine(CycleEngine):
             )
         if max_rounds < 1:
             raise ValidationError(f"max_rounds must be >= 1, got {max_rounds}")
+        if mass_restore_budget is not None:
+            check_in_range(
+                "mass_restore_budget", mass_restore_budget,
+                low=0.0, high=1.0, low_inclusive=False, high_inclusive=False,
+            )
+        if mass_restore_action not in ("renormalize", "restart"):
+            raise ValidationError(
+                f"mass_restore_action must be 'renormalize' or 'restart', "
+                f"got {mass_restore_action!r}"
+            )
         self.sim = sim
         self.transport = transport
         self.overlay = overlay
@@ -167,6 +202,17 @@ class MessageGossipEngine(CycleEngine):
         self.max_rounds = int(max_rounds)
         self.min_rounds = int(min_rounds)
         self.neighbors_only = bool(neighbors_only)
+        if partnering is None:
+            partnering = NeighborSampler() if neighbors_only else GlobalSampler()
+        self.partnering = partnering
+        self.partnering.bind(sim, transport, overlay)
+        self.mass_restore_budget = (
+            float(mass_restore_budget) if mass_restore_budget is not None else None
+        )
+        self.mass_restore_action = mass_restore_action
+        #: gossip halves delivered to departed/uninitialized nodes (their
+        #: mass vanished without a transport drop being counted)
+        self.discarded = 0
         self._rng = as_generator(rng)
         self._states: Dict[int, TripletVector] = {}
         #: per-node TripletVectors recycled across cycles (reset, not
@@ -181,9 +227,18 @@ class MessageGossipEngine(CycleEngine):
     # -- protocol --------------------------------------------------------
 
     def _on_message(self, msg: Message) -> None:
+        if msg.kind != "gossip":
+            # membership/control traffic belongs to the partner strategy
+            self.partnering.on_message(msg)
+            return
         state = self._states.get(msg.dst)
         if state is None or not self.overlay.is_alive(msg.dst):
-            return  # arrived after departure: mass vanishes
+            # Arrived after departure (or for a node that never joined
+            # the cycle — partial views go stale): the mass vanishes
+            # without a transport drop, so count it here or the exact
+            # conservation check would fire on a lossy history.
+            self.discarded += 1
+            return
         state.merge(msg.payload)
 
     def _gossip_round(self) -> None:
@@ -193,9 +248,7 @@ class MessageGossipEngine(CycleEngine):
             state = self._states.get(node)
             if state is None:
                 continue
-            partner = self.overlay.random_partner(
-                node, neighbors_only=self.neighbors_only
-            )
+            partner = self.partnering.partner(node)
             if partner is None:
                 continue
             sent = state.halve()
@@ -254,10 +307,13 @@ class MessageGossipEngine(CycleEngine):
 
         sent_before = self.transport.sent
         dropped_before = self.transport.drop_count
+        discarded_before = self.discarded
         prev_ids: Tuple[int, ...] = ()
         prev_mat: Optional[np.ndarray] = None
         steps = 0
         converged = False
+        restorations = 0
+        self.partnering.start()
         for round_no in range(1, self.max_rounds + 1):
             self._gossip_round()
             self.sim.run(until=self.sim.now + self.round_interval)
@@ -267,18 +323,20 @@ class MessageGossipEngine(CycleEngine):
                 for node in self.overlay.alive_nodes().tolist()
                 if node in self._states
             )
-            if san is not None:
-                # Rounds are paced past the max latency, so no mass is
-                # in flight here: the live nodes' triplet stores hold
-                # the whole surviving (x, w) population.
-                mass_now = 0.0
-                for node in cur_ids:
-                    tv = self._states[node]
+            # Rounds are paced past the max latency, so no mass is in
+            # flight here: the live nodes' triplet stores hold the whole
+            # surviving (x, w) population.
+            mass_now = 0.0
+            for node in cur_ids:
+                tv = self._states[node]
+                if san is not None:
                     tv.check_invariants(san, owner=node, step=round_no)
-                    mx, mw = tv.mass()
-                    mass_now += mx + mw
+                mx, mw = tv.mass()
+                mass_now += mx + mw
+            if san is not None:
                 if (
                     self.transport.drop_count == dropped_before
+                    and self.discarded == discarded_before
                     and frozenset(cur_ids) == initial_live
                 ):
                     # Lossless round history: push-sum conserves exactly.
@@ -291,6 +349,42 @@ class MessageGossipEngine(CycleEngine):
                     san.check_mass_bounded(
                         "total x+w mass", mass_now, initial_mass, step=round_no
                     )
+            if (
+                self.mass_restore_budget is not None
+                and initial_mass > 0.0
+                and mass_now < (1.0 - self.mass_restore_budget) * initial_mass
+            ):
+                restorations += 1
+                if self.mass_restore_action == "renormalize" and mass_now > 0.0:
+                    # Ratio-preserving: estimates are untouched, only the
+                    # mass budget is restored, so convergence tracking
+                    # carries straight through.  Departed nodes' stale
+                    # vectors are dropped first — their mass is written
+                    # off now, so a later rejoin cannot resurrect it on
+                    # top of the restored budget (which would create
+                    # mass and break the one-sided bound).
+                    self._states = {node: self._states[node] for node in cur_ids}
+                    factor = initial_mass / mass_now
+                    for node in cur_ids:
+                        self._states[node].scale(factor)
+                else:
+                    # Restart: live nodes re-enter the cycle from fresh
+                    # vectors; the rounds already spent stay counted.
+                    self._states = {}
+                    initial_mass = 0.0
+                    for node in self.overlay.alive_nodes().tolist():
+                        tv = self._pool.get(node)
+                        if tv is None:
+                            tv = self._pool[node] = TripletVector(n)
+                        tv.reset(node, rows[node], prior_map, n=n)
+                        self._states[node] = tv
+                        mx, mw = tv.mass()
+                        initial_mass += mx + mw
+                    initial_live = frozenset(self._states)
+                    dropped_before = self.transport.drop_count
+                    discarded_before = self.discarded
+                    prev_ids, prev_mat = (), None
+                    continue
             # Workspace-backed: the matrix lands in one of two
             # alternating reusable slots, so prev_mat (the other slot)
             # stays intact for the convergence comparison below.
@@ -303,6 +397,7 @@ class MessageGossipEngine(CycleEngine):
                     converged = True
                     break
             prev_ids, prev_mat = cur_ids, cur_mat
+        self.partnering.stop()
         if not converged and raise_on_budget:
             raise ConvergenceError(
                 f"message gossip exceeded {self.max_rounds} rounds",
@@ -340,6 +435,7 @@ class MessageGossipEngine(CycleEngine):
             messages_dropped=self.transport.drop_count - dropped_before,
             gossip_error=average_relative_error(v_next, exact),
             mass_lost_fraction=lost,
+            mass_restorations=restorations,
             node_estimates=node_estimates,
             live_nodes=live,
         )

@@ -197,6 +197,20 @@ class TripletVector:
         self._known = None
         self._size = None
 
+    def scale(self, factor: float) -> None:
+        """Uniformly scale both mass components by ``factor`` (> 0).
+
+        Ratio-preserving: every estimate ``x_j / w_j`` is unchanged.
+        This is the mass-restoration primitive — an engine that measured
+        a lost fraction ``f`` can scale every surviving vector by
+        ``1 / (1 - f)`` to restore the cycle's mass budget without
+        touching any node's estimates.
+        """
+        if not factor > 0.0:
+            raise ValidationError(f"scale factor must be > 0, got {factor}")
+        self._x *= factor
+        self._w *= factor
+
     # -- accessors ------------------------------------------------------------
 
     def triplet(self, j: int) -> Triplet:

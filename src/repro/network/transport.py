@@ -8,7 +8,23 @@ Models the properties the paper's robustness claims depend on:
   between u and v until it heals (§7 claims tolerance to link failures —
   the gossip protocol needs no error recovery because push-sum mass that
   is lost only perturbs, never corrupts, the converged ratio when the
-  self-half is kept locally).
+  self-half is kept locally),
+* *network partitions*: a group assignment under which every
+  cross-group message drops until the partition heals.
+
+Fault model, stated explicitly:
+
+* **Random loss is evaluated once, at send time.**  A message that
+  survives the coin flip is delivered even if ``loss_rate`` rises while
+  it is in flight — loss models the first-hop/queueing drop, not a
+  per-link-segment process.
+* **Link and partition state is checked at send time AND at delivery
+  time.**  A message in flight when its link fails (or a partition cuts
+  the pair) is dropped at its arrival instant and counted under
+  ``dropped_link`` — links that go down take their in-flight traffic
+  with them.
+* A message to a destination that unregistered mid-flight is dropped
+  at delivery (``dropped_unregistered``).
 
 Delivery is a callback: the receiving protocol registers a handler and
 the transport invokes it at the message's arrival time.
@@ -17,7 +33,7 @@ the transport invokes it at the message's arrival time.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional, Set, Tuple
+from typing import Any, Callable, Dict, Mapping, Optional, Set, Tuple
 
 from repro.errors import ValidationError
 from repro.sim.engine import Simulator
@@ -39,15 +55,20 @@ class Message:
 
 
 class LinkFailureModel:
-    """Tracks failed undirected links and schedules their repair.
+    """Tracks failed undirected links and network partitions.
 
-    ``fail(u, v, duration)`` marks the link down; if ``duration`` is
-    given the transport's simulator heals it automatically.
+    ``fail(u, v)`` marks a single link down.  ``set_partition(groups)``
+    installs a group assignment under which every *cross-group* pair is
+    down (an O(1) representation of a network split — no quadratic set
+    of pairwise failures).  Both compose: a link is down if explicitly
+    failed or cut by the active partition.
     """
 
     def __init__(self) -> None:
         self._down: Set[Tuple[int, int]] = set()
+        self._groups: Optional[Dict[int, int]] = None
         self.failures_injected = 0
+        self.partitions_injected = 0
 
     @staticmethod
     def _key(u: int, v: int) -> Tuple[int, int]:
@@ -62,13 +83,37 @@ class LinkFailureModel:
         """Restore link ``{u, v}`` (no-op if it was up)."""
         self._down.discard(self._key(u, v))
 
+    def set_partition(self, groups: Mapping[int, int]) -> None:
+        """Partition the network: pairs in different groups are down.
+
+        ``groups`` maps node id -> group id; nodes absent from the
+        mapping are treated as one implicit extra group (they can reach
+        each other but no explicitly grouped node of another group).
+        Replaces any previous partition.
+        """
+        self._groups = dict(groups)
+        self.partitions_injected += 1
+
+    def clear_partition(self) -> None:
+        """Heal the active partition (explicit link failures persist)."""
+        self._groups = None
+
+    @property
+    def partitioned(self) -> bool:
+        """Whether a partition is currently active."""
+        return self._groups is not None
+
     def is_down(self, u: int, v: int) -> bool:
-        """Whether link ``{u, v}`` is currently failed."""
-        return self._key(u, v) in self._down
+        """Whether link ``{u, v}`` is currently failed or cut."""
+        if self._key(u, v) in self._down:
+            return True
+        if self._groups is not None:
+            return self._groups.get(u, -1) != self._groups.get(v, -1)
+        return False
 
     @property
     def down_count(self) -> int:
-        """Number of currently failed links."""
+        """Number of explicitly failed links (partition cuts not counted)."""
         return len(self._down)
 
 
@@ -120,13 +165,25 @@ class Transport:
         """Remove ``node``'s handler; in-flight messages to it are dropped."""
         self._handlers.pop(node, None)
 
+    def set_loss_rate(self, loss_rate: float) -> None:
+        """Change the independent per-message drop probability.
+
+        The knob fault plans ramp mid-run (see
+        :mod:`repro.network.faultplan`); applies to messages sent from
+        now on — in-flight messages already won their coin flip.
+        """
+        check_probability("loss_rate", loss_rate)
+        self.loss_rate = float(loss_rate)
+
     def send(self, src: int, dst: int, payload: Any, *, kind: str = "data", size: int = 0) -> bool:
         """Queue a message; returns False if dropped at send time.
 
-        Loss and link failure are evaluated at send time (a failed link
-        drops deterministically; random loss by coin flip).  Delivery —
-        if the message survives — happens after jittered latency, and is
-        also dropped if the destination unregistered meanwhile (peer
+        Random loss is evaluated once, at send time (see the module
+        docstring for the full fault model).  Link/partition state is
+        checked here *and again at delivery*: a message in flight when
+        its link fails is dropped on arrival and counted under
+        ``dropped_link``.  A surviving message lands after jittered
+        latency unless the destination unregistered meanwhile (peer
         departed during flight).
         """
         if src == dst:
@@ -152,6 +209,13 @@ class Transport:
             self.sim.call_in(duration, self.links.heal, u, v)
 
     def _deliver(self, msg: Message) -> None:
+        # A link that failed (or a partition that formed) while this
+        # message was in flight takes it down too — link state was
+        # previously only checked at send time, silently delivering
+        # through dead links.
+        if self.links.is_down(msg.src, msg.dst):
+            self.dropped_link += 1
+            return
         handler = self._handlers.get(msg.dst)
         if handler is None:
             self.dropped_unregistered += 1

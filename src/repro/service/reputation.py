@@ -41,7 +41,12 @@ import numpy as np
 
 from repro.core.config import GossipTrustConfig
 from repro.core.gossiptrust import GossipTrust, GossipTrustResult
-from repro.errors import ValidationError
+from repro.errors import (
+    ConvergenceError,
+    InvariantViolation,
+    NetworkError,
+    ValidationError,
+)
 from repro.metrics.telemetry import Stopwatch
 from repro.storage.reputation_store import BloomReputationStore, StorageReport
 from repro.trust.feedback import FeedbackLedger
@@ -90,6 +95,12 @@ class ServiceEpochReport:
     wall_time_s: float
     #: gossip-vs-exact error when the oracle ran (None otherwise)
     aggregation_error: Optional[float] = None
+    #: aggregation raised and the service kept serving the stale snapshot
+    failed: bool = False
+    #: the attempt was skipped because a failure backoff is in effect
+    skipped: bool = False
+    #: stringified aggregation error when ``failed`` (None otherwise)
+    error: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -171,6 +182,10 @@ class ReputationService:
             BloomReputationStore(bracket_bits, error_rate=store_error_rate),
         )
         self._serving: Optional[int] = None
+        # Failure backoff: consecutive aggregation failures double the
+        # number of run_epoch calls skipped before the next attempt.
+        self._failures = 0
+        self._backoff_skip = 0
 
     # -- streaming ingest --------------------------------------------------
 
@@ -210,6 +225,7 @@ class ReputationService:
         *,
         compute_reference: Optional[bool] = None,
         raise_on_budget: bool = False,
+        on_failure: str = "serve_stale",
     ) -> ServiceEpochReport:
         """Absorb pending feedback and publish a new serving snapshot.
 
@@ -219,8 +235,39 @@ class ReputationService:
         standby Bloom store from the converged vector, and swap it into
         serving.  Safe to call with no pending feedback — the epoch then
         just re-converges (typically in one cycle) and republishes.
+
+        Failure policy (``on_failure="serve_stale"``, the default): if
+        aggregation raises (sanitizer violation, convergence blow-up,
+        network fault), the service does **not** propagate the error —
+        the previous snapshot keeps serving, lookups keep answering
+        with their staleness stamp counting the unabsorbed events, and
+        the epoch report comes back with ``failed=True``.  Consecutive
+        failures arm an exponential backoff: the next ``2^(k-1)`` (up to
+        8) ``run_epoch`` calls are skipped (``skipped=True``) before
+        aggregation is attempted again.  ``on_failure="raise"`` restores
+        the propagate-everything behaviour.
         """
+        if on_failure not in ("serve_stale", "raise"):
+            raise ValidationError(
+                f"on_failure must be 'serve_stale' or 'raise', got {on_failure!r}"
+            )
         watch = Stopwatch()
+        if self._backoff_skip > 0 and on_failure == "serve_stale":
+            self._backoff_skip -= 1
+            report = ServiceEpochReport(
+                epoch=self._epoch,
+                events_absorbed=0,
+                dirty_rows=0,
+                warm_started=False,
+                cycles=0,
+                gossip_steps=0,
+                converged=False,
+                power_node_churn=0.0,
+                wall_time_s=watch.elapsed(),
+                skipped=True,
+            )
+            self._epoch_reports.append(report)
+            return report
         absorbed = self._pending
         self._pending = 0
         if self._matrix is None:
@@ -241,12 +288,40 @@ class ReputationService:
             dirty = len(deltas)
         assert self._system is not None
         prev_power = self._system.power_nodes
-        result = self._system.run(
-            v0=self._vector,
-            epoch=self._epoch + 1,
-            raise_on_budget=raise_on_budget,
-            compute_reference=compute_reference,
-        )
+        try:
+            result = self._system.run(
+                v0=self._vector,
+                epoch=self._epoch + 1,
+                raise_on_budget=raise_on_budget,
+                compute_reference=compute_reference,
+            )
+        except (ConvergenceError, InvariantViolation, NetworkError) as exc:
+            if on_failure == "raise":
+                raise
+            # Serve stale: the drained deltas stay absorbed in the
+            # matrix (the retry re-aggregates them); the pending count
+            # is restored so staleness stamps keep counting every event
+            # the serving snapshot has not seen.
+            self._pending += absorbed
+            self._failures += 1
+            self._backoff_skip = min(2 ** (self._failures - 1), 8)
+            report = ServiceEpochReport(
+                epoch=self._epoch,
+                events_absorbed=0,
+                dirty_rows=dirty,
+                warm_started=False,
+                cycles=0,
+                gossip_steps=0,
+                converged=False,
+                power_node_churn=0.0,
+                wall_time_s=watch.elapsed(),
+                failed=True,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            self._epoch_reports.append(report)
+            return report
+        self._failures = 0
+        self._backoff_skip = 0
         self._epoch = result.epoch
         self._vector = result.vector
         self._total_cycles += result.cycles

@@ -275,3 +275,94 @@ class TestCli:
         assert "service epochs" in out
         assert "wall speedup (x)" in out
         assert "mean staleness (events)" in out
+
+
+class TestFailurePolicy:
+    """Aggregation failures serve stale snapshots instead of raising."""
+
+    def _failing(self, svc, exc):
+        def boom(**kwargs):
+            raise exc
+
+        svc._system.run = boom  # simulate an aggregation blow-up
+
+    def test_failed_epoch_serves_stale_with_staleness(self):
+        from repro.errors import ConvergenceError
+
+        svc = _seeded_service()
+        ok = svc.run_epoch()
+        baseline = svc.lookup(0).score
+        svc.ingest(0, 1, TransactionOutcome.AUTHENTIC)
+        self._failing(svc, ConvergenceError("cycle budget blown"))
+        report = svc.run_epoch()
+        assert report.failed and not report.skipped
+        assert report.error.startswith("ConvergenceError")
+        assert report.epoch == ok.epoch  # no new snapshot published
+        # The stale snapshot keeps serving, stamped with what it missed.
+        served = svc.lookup(0)
+        assert served.score == baseline
+        assert served.pending_events == 1
+
+    def test_consecutive_failures_back_off_exponentially(self):
+        from repro.errors import ConvergenceError
+
+        svc = _seeded_service()
+        svc.run_epoch()
+        self._failing(svc, ConvergenceError("down"))
+        flags = []
+        for _ in range(8):
+            r = svc.run_epoch()
+            flags.append("skip" if r.skipped else "fail")
+        # fail, skip(1), fail, skip(2), fail, skip(4)...
+        assert flags == [
+            "fail", "skip", "fail", "skip", "skip", "fail", "skip", "skip",
+        ]
+
+    def test_success_resets_the_backoff(self):
+        from repro.errors import ConvergenceError
+
+        svc = _seeded_service()
+        svc.run_epoch()
+        real_run = svc._system.run
+        self._failing(svc, ConvergenceError("down"))
+        assert svc.run_epoch().failed
+        svc._system.run = real_run  # aggregation recovers
+        assert svc.run_epoch().skipped  # one backoff skip still pending
+        report = svc.run_epoch()
+        assert report.converged and not report.failed
+        # Backoff cleared: the next failure starts over at one skip.
+        self._failing(svc, ConvergenceError("down again"))
+        assert svc.run_epoch().failed
+        assert svc.run_epoch().skipped
+        svc._system.run = real_run
+        assert svc.run_epoch().converged
+
+    def test_on_failure_raise_propagates(self):
+        from repro.errors import ConvergenceError
+
+        svc = _seeded_service()
+        svc.run_epoch()
+        self._failing(svc, ConvergenceError("down"))
+        with pytest.raises(ConvergenceError):
+            svc.run_epoch(on_failure="raise")
+
+    def test_on_failure_validated(self):
+        svc = _seeded_service()
+        with pytest.raises(ValidationError, match="on_failure"):
+            svc.run_epoch(on_failure="retry")
+
+    def test_failed_events_reaggregate_on_recovery(self):
+        from repro.errors import ConvergenceError
+
+        svc = _seeded_service()
+        svc.run_epoch()
+        svc.ingest(0, 1, TransactionOutcome.AUTHENTIC)
+        real_run = svc._system.run
+        self._failing(svc, ConvergenceError("down"))
+        svc.run_epoch()
+        assert svc.pending_events == 1  # restored, not silently dropped
+        svc._system.run = real_run
+        svc.run_epoch()  # backoff skip
+        report = svc.run_epoch()
+        assert report.converged
+        assert svc.pending_events == 0

@@ -66,6 +66,15 @@ Since schema 5:
   the gated entry point (``--large-only --xlarge``); the default and
   ``--quick`` sweeps never pay for it.
 
+Since schema 6 a ``resilience`` section runs the churn-resilience
+sweep (``experiments/churn_resilience.py``) at a pinned operating
+point: partner strategies under the scripted ``crash`` fault plan with
+the engines' mass-restoration guard armed, recording per-cell gossip
+error, membership overhead fraction, and permanently-isolated live
+nodes (``zero_isolated`` must stay ``true`` — the self-healing
+acceptance line).  Quick mode trims the grid to the message engine and
+two strategies.
+
 Usage::
 
     PYTHONPATH=src python tools/bench_runner.py [--quick] [--large-only]
@@ -140,6 +149,14 @@ LARGE_N_BUDGETS = {
 #: standing tiers run 2-way sharded so the recorded trajectory always
 #: exercises the shard-invariant path; the 10^6 point splits 4 ways.
 LARGE_N_SHARDS = {10_000: 2, 100_000: 2, XLARGE_N: 4}
+#: resilience-section operating point (schema 6): strategies under the
+#: scripted crash plan, mass-restoration guard armed
+RESILIENCE_N = 96
+RESILIENCE_N_QUICK = 48
+RESILIENCE_STRATEGIES = ("global", "neighbors", "hyparview", "brahms")
+RESILIENCE_STRATEGIES_QUICK = ("global", "hyparview")
+RESILIENCE_ENGINES = ("message", "async")
+RESILIENCE_ENGINES_QUICK = ("message",)
 
 
 def bench_cell(engine: str, n: int, repeats: int, **overrides) -> dict:
@@ -449,6 +466,65 @@ def run_large_n(quick: bool, xlarge: bool = False) -> dict:
     }
 
 
+def run_resilience(quick: bool) -> dict:
+    """The schema-6 section: self-healing gossip under scripted chaos.
+
+    Runs the churn-resilience sweep at a pinned seed: every strategy in
+    the grid survives the ``crash`` fault plan (two bursts, partial
+    rejoin) with the engines' mass-restoration guard armed at the
+    default budget.  The recorded acceptance line is ``zero_isolated``:
+    no partial-view strategy may leave a live node permanently without
+    live peers after the plan heals.
+    """
+    from repro.experiments.churn_resilience import run_churn_resilience
+
+    n = RESILIENCE_N_QUICK if quick else RESILIENCE_N
+    strategies = RESILIENCE_STRATEGIES_QUICK if quick else RESILIENCE_STRATEGIES
+    engines = RESILIENCE_ENGINES_QUICK if quick else RESILIENCE_ENGINES
+    start = time.perf_counter()
+    result = run_churn_resilience(
+        n=n,
+        strategies=strategies,
+        plans=("crash",),
+        engines=engines,
+        repeats=1,
+        workers=1,
+    )
+    wall = time.perf_counter() - start
+    errors = {
+        key: value
+        for key, value in result.data.items()
+        if not key.endswith(("/isolated", "/overhead"))
+    }
+    isolated = {
+        key[: -len("/isolated")]: value
+        for key, value in result.data.items()
+        if key.endswith("/isolated")
+    }
+    overhead = {
+        key[: -len("/overhead")]: value
+        for key, value in result.data.items()
+        if key.endswith("/overhead")
+    }
+    for cell, err in sorted(errors.items()):
+        print(
+            f"{'resilience ' + cell:55s} n={n:5d}  err={err:8.3g}  "
+            f"iso={isolated[cell]:g}  ovh={overhead[cell]:.3f}"
+        )
+    return {
+        "n": n,
+        "plan": "crash",
+        "strategies": list(strategies),
+        "engines": list(engines),
+        "error": errors,
+        "isolated": isolated,
+        "overhead_fraction": overhead,
+        "max_error": max(errors.values()),
+        "zero_isolated": all(v == 0.0 for v in isolated.values()),
+        "wall_time_s": round(wall, 3),
+    }
+
+
 def run(
     quick: bool,
     *,
@@ -459,7 +535,7 @@ def run(
 ) -> dict:
     if large_only:
         return {
-            "schema": 5,
+            "schema": 6,
             "quick": quick,
             "large_only": True,
             "xlarge": xlarge,
@@ -492,7 +568,7 @@ def run(
             )
             entries.append(cell)
     return {
-        "schema": 5,
+        "schema": 6,
         "quick": quick,
         "xlarge": xlarge,
         "seed": SEED,
@@ -507,6 +583,7 @@ def run(
         "end_to_end": run_end_to_end(quick),
         "service": run_service(quick),
         "large_n": run_large_n(quick, xlarge=xlarge),
+        "resilience": run_resilience(quick),
     }
 
 
