@@ -19,10 +19,11 @@ lint:
 		echo "ruff not installed; skipping lint (CI runs it)"; \
 	fi
 
-# Project-specific invariant lint (GT001-GT004); stdlib-only, so it
-# always runs — see tools/analyze.py and src/repro/analysis/.
+# Project-specific invariant lint (GT001-GT009, including the
+# interprocedural flow rules); stdlib-only, so it always runs — see
+# tools/analyze.py and src/repro/analysis/.
 analyze:
-	PYTHONPATH=src $(PYTHON) tools/analyze.py src tests examples tools
+	PYTHONPATH=src $(PYTHON) tools/analyze.py src tests examples tools benchmarks
 
 # Strict typing gate over the algorithmic core (see [tool.mypy] in
 # pyproject.toml).  Gated like lint: skip cleanly when mypy is missing.

@@ -1,0 +1,364 @@
+"""Reaching-definitions dataflow for flow-aware lint rules.
+
+The flow rules (GT005–GT008) need more than "this expression is a set
+literal" — they need "the value flowing into this ``for`` loop was
+*produced* by an unordered container three assignments ago and never
+sorted since".  This module provides that as a small abstract
+interpreter over a function body:
+
+* A rule supplies a :class:`TagClassifier` describing which expressions
+  *introduce* tags (``set(...)`` → ``{"unordered"}``), which calls
+  *launder* them (``sorted(x)`` → ∅), and what reaching a loop target
+  means (:meth:`TagClassifier.element_tags`).
+* :class:`FunctionFlow` executes the function's statements in order,
+  maintaining an environment mapping local names to tag sets.  Branches
+  are *merged* (the environment after ``if/else`` is the union of both
+  arms), loop bodies run twice so loop-carried tags reach a fixpoint,
+  and ``try`` arms merge like branches.  The result is conservative:
+  a name holds a tag if **any** control-flow path could have put it
+  there — exactly the bar a determinism lint wants.
+* The per-statement environment snapshots (:attr:`FlowResult.env_at`)
+  let a rule ask for the tags of any expression *at the point it
+  executes* (:meth:`FlowResult.tags_of`), so ``x = sorted(x)`` really
+  clears the tag for everything downstream while earlier uses still
+  see it.
+
+Results are memoized per classifier on the :class:`FunctionFlow`, and
+the flows themselves are cached on the shared
+:class:`~repro.analysis.callgraph.ProjectIndex`, so the whole-tree
+``make analyze`` pass pays for each function body once, not once per
+rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+__all__ = ["Tags", "NO_TAGS", "TagClassifier", "FlowResult", "FunctionFlow"]
+
+Tags = FrozenSet[str]
+NO_TAGS: Tags = frozenset()
+Env = Dict[str, Tags]
+
+
+class TagClassifier:
+    """Rule-supplied semantics for tag introduction and laundering.
+
+    The defaults make every expression tag-free; a rule overrides the
+    hooks it cares about.  Classifiers must be stable objects (one per
+    rule instance) — flow results are memoized per classifier.
+    """
+
+    def expr_tags(self, expr: ast.expr, env: "Env", result: "FlowResult") -> Optional[Tags]:
+        """Tags introduced by ``expr`` itself, or None to use defaults.
+
+        Returning a set short-circuits structural propagation, so this
+        is where literals (``{a, b}``), subscript semantics, and
+        sanitizers live.
+        """
+        return None
+
+    def call_tags(
+        self, call: ast.Call, arg_tags: List[Tags], env: "Env", result: "FlowResult"
+    ) -> Tags:
+        """Tags of a call result, given the tags of its positional args."""
+        return NO_TAGS
+
+    def element_tags(self, iterable_tags: Tags) -> Tags:
+        """Tags a loop target inherits from its iterable."""
+        return NO_TAGS
+
+    def param_tags(self, name: str, func: ast.AST) -> Tags:
+        """Seed tags for a function parameter."""
+        return NO_TAGS
+
+
+class FlowResult:
+    """Environment snapshots from one interpretation of a function."""
+
+    def __init__(self, classifier: TagClassifier):
+        self.classifier = classifier
+        #: id(statement node) -> environment *before* that statement
+        self.env_at: Dict[int, Env] = {}
+        #: environment after the last statement
+        self.final: Env = {}
+
+    def env_before(self, stmt: ast.AST) -> Env:
+        """The environment in effect when ``stmt`` starts executing."""
+        return self.env_at.get(id(stmt), self.final)
+
+    def tags_of(self, expr: ast.expr, env: Env) -> Tags:
+        """Tags of ``expr`` evaluated in ``env``.
+
+        Structural rules: names read the environment; calls defer to
+        the classifier with argument tags already computed; unions,
+        conditionals, tuples, starred and walrus expressions propagate
+        the union of their parts; subscripts and attributes are
+        tag-free by default (a dict's *values* are not unordered just
+        because the dict is — iterating the dict is what GT005 flags).
+        """
+        custom = self.classifier.expr_tags(expr, env, self)
+        if custom is not None:
+            return custom
+        if isinstance(expr, ast.Name):
+            return env.get(expr.id, NO_TAGS)
+        if isinstance(expr, ast.Call):
+            arg_tags = [self.tags_of(a, env) for a in expr.args]
+            return self.classifier.call_tags(expr, arg_tags, env, self)
+        if isinstance(expr, (ast.BinOp,)):
+            return self.tags_of(expr.left, env) | self.tags_of(expr.right, env)
+        if isinstance(expr, ast.BoolOp):
+            out = NO_TAGS
+            for value in expr.values:
+                out |= self.tags_of(value, env)
+            return out
+        if isinstance(expr, ast.IfExp):
+            return self.tags_of(expr.body, env) | self.tags_of(expr.orelse, env)
+        if isinstance(expr, (ast.Tuple, ast.List)):
+            out = NO_TAGS
+            for elt in expr.elts:
+                out |= self.tags_of(elt, env)
+            return out
+        if isinstance(expr, ast.Starred):
+            return self.tags_of(expr.value, env)
+        if isinstance(expr, ast.NamedExpr):
+            return self.tags_of(expr.value, env)
+        if isinstance(expr, ast.Await):
+            return self.tags_of(expr.value, env)
+        if isinstance(expr, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+            inner = dict(env)
+            for gen in expr.generators:
+                elem = self.classifier.element_tags(self.tags_of(gen.iter, inner))
+                for name in _target_names(gen.target):
+                    inner[name] = elem
+            if isinstance(expr, ast.DictComp):
+                return self.tags_of(expr.key, inner) | self.tags_of(expr.value, inner)
+            return self.tags_of(expr.elt, inner)
+        return NO_TAGS
+
+    # -- convenience for rules --------------------------------------------
+
+    def tags_at(self, stmt: ast.AST, expr: ast.expr) -> Tags:
+        """Tags of ``expr`` at the program point where ``stmt`` executes."""
+        return self.tags_of(expr, self.env_before(stmt))
+
+
+def _merge(a: Env, b: Env) -> Env:
+    """Path-join: a name holds every tag either branch gave it."""
+    out = dict(a)
+    for name, tags in b.items():
+        out[name] = out.get(name, NO_TAGS) | tags
+    return out
+
+
+def _target_names(target: ast.expr) -> Iterator[str]:
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            yield from _target_names(elt)
+    elif isinstance(target, ast.Starred):
+        yield from _target_names(target.value)
+
+
+class FunctionFlow:
+    """Abstract interpreter over one function body.
+
+    Construct once per function (the project index does this and caches
+    it), then :meth:`propagate` per rule classifier.  Nested function
+    definitions are opaque — they have their own ``FunctionFlow`` via
+    the index — but comprehension generators are interpreted inline,
+    since their targets feed expressions in this scope.
+    """
+
+    def __init__(self, func: ast.AST):
+        self.func = func
+        self._memo: Dict[TagClassifier, FlowResult] = {}
+
+    def propagate(self, classifier: TagClassifier) -> FlowResult:
+        cached = self._memo.get(classifier)
+        if cached is not None:
+            return cached
+        result = FlowResult(classifier)
+        env: Env = {}
+        args = getattr(self.func, "args", None)
+        if args is not None:
+            for arg in (
+                list(args.posonlyargs)
+                + list(args.args)
+                + list(args.kwonlyargs)
+                + ([args.vararg] if args.vararg else [])
+                + ([args.kwarg] if args.kwarg else [])
+            ):
+                tags = classifier.param_tags(arg.arg, self.func)
+                if tags:
+                    env[arg.arg] = tags
+        body = getattr(self.func, "body", [])
+        result.final = self._exec_block(body, env, result)
+        self._memo[classifier] = result
+        return result
+
+    # -- interpreter -------------------------------------------------------
+
+    def _exec_block(self, stmts: List[ast.stmt], env: Env, result: FlowResult) -> Env:
+        for stmt in stmts:
+            env = self._exec_stmt(stmt, env, result)
+        return env
+
+    def _exec_stmt(self, stmt: ast.stmt, env: Env, result: FlowResult) -> Env:
+        # Snapshot before execution: union with any earlier visit so a
+        # second loop pass widens rather than overwrites.
+        prior = result.env_at.get(id(stmt))
+        result.env_at[id(stmt)] = _merge(prior, env) if prior is not None else dict(env)
+        env = self._absorb_walrus(stmt, env, result)
+
+        if isinstance(stmt, ast.Assign):
+            tags = result.tags_of(stmt.value, env)
+            env = dict(env)
+            for target in stmt.targets:
+                self._bind_target(target, tags, stmt.value, env, result)
+            return env
+        if isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            tags = result.tags_of(stmt.value, env)
+            env = dict(env)
+            self._bind_target(stmt.target, tags, stmt.value, env, result)
+            return env
+        if isinstance(stmt, ast.AugAssign):
+            if isinstance(stmt.target, ast.Name):
+                env = dict(env)
+                env[stmt.target.id] = (
+                    env.get(stmt.target.id, NO_TAGS) | result.tags_of(stmt.value, env)
+                )
+            return env
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            iter_tags = result.tags_of(stmt.iter, env)
+            loop_env = dict(env)
+            elem = result.classifier.element_tags(iter_tags)
+            for name in _target_names(stmt.target):
+                loop_env[name] = elem
+            # Two passes let loop-carried tags stabilize.
+            for _ in range(2):
+                loop_env = self._exec_block(stmt.body, loop_env, result)
+                for name in _target_names(stmt.target):
+                    loop_env[name] = loop_env.get(name, NO_TAGS) | elem
+            after = self._exec_block(stmt.orelse, dict(loop_env), result)
+            return _merge(env, after)  # body may not run at all
+        if isinstance(stmt, ast.While):
+            loop_env = dict(env)
+            for _ in range(2):
+                loop_env = self._exec_block(stmt.body, loop_env, result)
+            after = self._exec_block(stmt.orelse, dict(loop_env), result)
+            return _merge(env, after)
+        if isinstance(stmt, ast.If):
+            then_env = self._exec_block(stmt.body, dict(env), result)
+            else_env = self._exec_block(stmt.orelse, dict(env), result)
+            return _merge(then_env, else_env)
+        if isinstance(stmt, ast.Try):
+            body_env = self._exec_block(stmt.body, dict(env), result)
+            merged = _merge(env, body_env)
+            for handler in stmt.handlers:
+                h_env = dict(merged)
+                if handler.name:
+                    h_env[handler.name] = NO_TAGS
+                merged = _merge(merged, self._exec_block(handler.body, h_env, result))
+            merged = _merge(merged, self._exec_block(stmt.orelse, dict(body_env), result))
+            return self._exec_block(stmt.finalbody, merged, result)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            env = dict(env)
+            for item in stmt.items:
+                if item.optional_vars is not None:
+                    tags = result.tags_of(item.context_expr, env)
+                    self._bind_target(item.optional_vars, tags, item.context_expr, env, result)
+            return self._exec_block(stmt.body, env, result)
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return env  # nested scopes are analyzed separately
+        if isinstance(stmt, ast.Delete):
+            env = dict(env)
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    env.pop(target.id, None)
+            return env
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+            # ``xs.append(v)`` — the container absorbs the argument tags,
+            # so values funneled through a list/set build stay tracked.
+            call = stmt.value
+            func = call.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in ("append", "add", "extend", "insert", "appendleft")
+                and isinstance(func.value, ast.Name)
+            ):
+                absorbed = NO_TAGS
+                for arg in call.args:
+                    absorbed |= result.tags_of(arg, env)
+                if absorbed:
+                    env = dict(env)
+                    name = func.value.id
+                    env[name] = env.get(name, NO_TAGS) | absorbed
+            return env
+        return env
+
+    def _bind_target(
+        self,
+        target: ast.expr,
+        tags: Tags,
+        value: ast.expr,
+        env: Env,
+        result: FlowResult,
+    ) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = tags
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            # ``a, b = pair`` — each element inherits the element view.
+            elem = result.classifier.element_tags(tags) | (
+                tags if isinstance(value, (ast.Tuple, ast.List)) else NO_TAGS
+            )
+            for name in _target_names(target):
+                env[name] = elem
+        # Subscript/attribute targets mutate containers, not names.
+
+    def _absorb_walrus(self, stmt: ast.stmt, env: Env, result: FlowResult) -> Env:
+        """Bind ``x := expr`` targets appearing anywhere in ``stmt``."""
+        walruses: List[ast.NamedExpr] = []
+        for node in ast.walk(stmt):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            if isinstance(node, ast.NamedExpr):
+                walruses.append(node)
+            if node is not stmt and isinstance(node, ast.stmt):
+                break  # child statements snapshot themselves
+        if not walruses:
+            return env
+        env = dict(env)
+        for walrus in walruses:
+            env[walrus.target.id] = result.tags_of(walrus.value, env)
+        return env
+
+    # -- site enumeration for rules ---------------------------------------
+
+    def iteration_sites(self) -> Iterator[Tuple[ast.stmt, ast.expr, ast.AST]]:
+        """Yield ``(enclosing_stmt, iterable_expr, site_node)`` for every
+        ``for`` statement and comprehension generator in this function
+        (nested defs excluded — they have their own flow)."""
+        for stmt, node in self._own_nodes():
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                yield stmt, node.iter, node
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                for gen in node.generators:
+                    yield stmt, gen.iter, node
+
+    def _own_nodes(self) -> Iterator[Tuple[ast.stmt, ast.AST]]:
+        """(enclosing statement, node) pairs, skipping nested defs."""
+
+        def walk(node: ast.AST, stmt: ast.stmt) -> Iterator[Tuple[ast.stmt, ast.AST]]:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)):
+                    continue
+                enclosing = child if isinstance(child, ast.stmt) else stmt
+                yield enclosing, child
+                yield from walk(child, enclosing)
+
+        for top in getattr(self.func, "body", []):
+            yield top, top
+            yield from walk(top, top)

@@ -7,9 +7,27 @@
 ``GT002``  No array allocations inside ``# hot:``-marked regions of the
            fast-kernel paths (the allocation-free contract of PR 2).
 ``GT003``  No wall-clock reads in the deterministic core
-           (``core/``, ``gossip/``, ``sim/``, ``trust/``).
+           (``core/``, ``gossip/``, ``sim/``, ``trust/``, ``service/``,
+           ``experiments/``).
 ``GT004``  No bare float ``==`` / ``!=`` comparisons in numeric modules.
+``GT005``  No unordered-container iteration (set/dict-view/listing) on
+           paths reaching RNG draws, partner selection, message
+           scheduling, or CSR layout (flow-aware, call-graph scoped).
+``GT006``  Shared-workspace writes in ``shard_exec.py``/``memory.py``
+           provably confined to the caller's shard slot (ownership
+           dataflow; runtime twin: the shadow-ownership sanitizer).
+``GT007``  Process fan-outs collect futures in submission order and
+           thread a spawned per-task seed (no ``as_completed``).
+``GT008``  No float reductions in unordered-container order in the
+           numeric core (``sorted(...)`` or ``math.fsum``).
+``GT009``  Suppression hygiene: GT sentinels name codes and carry a
+           `` -- justification`` (unsuppressible self-check).
 =========  ==============================================================
+
+GT001–GT004 are local AST matches; GT005–GT008 are
+:class:`~repro.analysis.linter.FlowRule` subclasses running on the
+shared :class:`~repro.analysis.callgraph.ProjectIndex` (symbol table +
+call graph + reaching-definitions dataflow) built once per lint run.
 
 Each rule lives in its own module; :data:`ALL_RULES` is the canonical
 registry consumed by ``tools/analyze.py``.  To add a rule, drop a
@@ -25,6 +43,11 @@ from repro.analysis.rules.gt001_rng import NoAdHocRngRule
 from repro.analysis.rules.gt002_alloc import NoHotAllocRule
 from repro.analysis.rules.gt003_wallclock import NoWallClockRule
 from repro.analysis.rules.gt004_floateq import NoBareFloatEqRule
+from repro.analysis.rules.gt005_iterorder import NondeterministicIterOrderRule
+from repro.analysis.rules.gt006_ownership import SharedWriteOwnershipRule
+from repro.analysis.rules.gt007_procdet import ProcessPoolDisciplineRule
+from repro.analysis.rules.gt008_reduction import FloatReductionOrderRule
+from repro.analysis.rules.gt009_suppress import SuppressionHygieneRule
 
 __all__ = [
     "ALL_RULES",
@@ -32,6 +55,11 @@ __all__ = [
     "NoHotAllocRule",
     "NoWallClockRule",
     "NoBareFloatEqRule",
+    "NondeterministicIterOrderRule",
+    "SharedWriteOwnershipRule",
+    "ProcessPoolDisciplineRule",
+    "FloatReductionOrderRule",
+    "SuppressionHygieneRule",
 ]
 
 #: the full GT rule set, in catalog order
@@ -40,4 +68,9 @@ ALL_RULES: Tuple[Rule, ...] = (
     NoHotAllocRule(),
     NoWallClockRule(),
     NoBareFloatEqRule(),
+    NondeterministicIterOrderRule(),
+    SharedWriteOwnershipRule(),
+    ProcessPoolDisciplineRule(),
+    FloatReductionOrderRule(),
+    SuppressionHygieneRule(),
 )

@@ -6,9 +6,12 @@ the parallel sweep runner.  A wall-clock read in any of them is either a
 determinism bug (behaviour branching on real time) or misplaced
 telemetry; both belong in the measurement layer.
 
-Flagged inside ``core/``, ``gossip/``, ``network/``, ``sim/``, and
-``trust/`` (the network layer — transport, membership, fault plans —
-replays on the simulated clock like everything else):
+Flagged inside ``core/``, ``gossip/``, ``network/``, ``sim/``,
+``trust/``, ``service/``, and ``experiments/`` (the network layer —
+transport, membership, fault plans — replays on the simulated clock
+like everything else; the service and experiment layers measure wall
+time, but only *through* ``Stopwatch``, so their results never branch
+on a raw clock read):
 
 * references to ``time.time``, ``time.perf_counter``,
   ``time.monotonic``, ``time.process_time`` (calls *or* bare
@@ -50,6 +53,8 @@ class NoWallClockRule(Rule):
         "repro/network/",
         "repro/sim/",
         "repro/trust/",
+        "repro/service/",
+        "repro/experiments/",
     )
     exclude = ("repro/metrics/telemetry.py", "repro/utils/proc.py")
 

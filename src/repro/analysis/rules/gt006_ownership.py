@@ -1,0 +1,290 @@
+"""GT006 — shared-workspace writes stay inside the caller's shard slot.
+
+The sharded sparse kernel's no-locking design rests on one invariant:
+a worker task for shard ``s`` writes **only** the CSR pool arrays of
+shard ``s``.  The pools of every shard are attached in every worker
+process (that is the point of the manifest), so nothing at runtime
+stops a task from scribbling over a foreign shard's slot — it would
+not crash, it would just make results silently depend on task timing.
+
+This rule proves write confinement statically in the two modules that
+touch attached segments directly (``gossip/shard_exec.py`` and
+``gossip/memory.py``):
+
+1. **Provenance.** Values returned by ``attach_array`` (directly or
+   through project-resolved helpers) are *attached*.  A module-level
+   context dict (``_CTX``-style) is scanned for ``update``/key stores;
+   keys whose stored value is attached become the *attached table*.
+2. **Ownership.** Subscripting an attached table with the caller's
+   shard parameter (``ctx["shards"][shard]``) yields an *owned* slot;
+   any deeper subscript of an owned value stays owned.  Any other
+   index — a constant, an arithmetic expression like ``shard + 1``, an
+   unrelated variable — yields a *foreign* reference, as does holding
+   the whole table or a flat attached buffer (the parent-owned
+   ``targets`` ring, which workers may read but never write).
+3. **Writes.** Subscript-assignments, in-place writer kernels
+   (``csr_matmat``/``csr_matvecs``/``csr_todense`` out-args), ``out=``
+   keywords, ``np.copyto``, and mutating methods (``.fill``/``.sort``/
+   ``.partition``) through anything attached-but-not-owned are errors.
+
+The runtime twin of this rule is the shadow-ownership sanitizer in
+:mod:`repro.analysis.sanitizer` (``REPRO_SANITIZE=1``), which catches
+the same class of race when the write site is not statically visible.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.dataflow import NO_TAGS, Env, FlowResult, TagClassifier, Tags
+from repro.analysis.linter import FlowRule, SourceFile, Violation
+from repro.analysis.rules._flowutils import return_tags
+
+__all__ = ["SharedWriteOwnershipRule"]
+
+#: tags used by the ownership lattice
+_CTX_TAG = "ctx"          # the module-level context dict itself
+_ATTACHED = "attached"    # a manifest-attached array (flat)
+_TABLE = "table"          # the per-shard table of attached pools
+_OWN = "own"              # confined to the caller's shard slot
+_FOREIGN = "foreign"      # attached, but NOT the caller's slot
+_SHARD = "shard"          # the caller's shard-index parameter
+
+#: parameter names recognized as the caller's shard index
+_SHARD_PARAMS = frozenset({"shard", "shard_id", "shard_index", "si"})
+
+#: writer kernels: callable name -> number of trailing out-args
+_TRAILING_WRITERS = {
+    "csr_matmat": 3,
+    "_csr_matmat": 3,
+    "csr_matvecs": 1,
+    "csr_todense": 1,
+}
+#: mutating methods that write their receiver
+_MUTATOR_METHODS = frozenset({"fill", "sort", "partition", "put"})
+
+_ADVICE = (
+    "workers may write only their own shard's manifest-attached pools "
+    "(index the shard table with the task's shard parameter)"
+)
+
+
+def _callable_name(func: ast.expr) -> Optional[str]:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+class _OwnershipClassifier(TagClassifier):
+    """Tag semantics of the attached/own/foreign lattice."""
+
+    def __init__(self, ctx_names: FrozenSet[str], attached_keys: FrozenSet[str]):
+        self.ctx_names = ctx_names
+        self.attached_keys = attached_keys
+        self.project: Any = None
+        self.caller: Any = None
+        self._active: Set[str] = set()
+        self._depth = 0
+
+    def param_tags(self, name: str, func: ast.AST) -> Tags:
+        if name in _SHARD_PARAMS:
+            return frozenset({_SHARD})
+        return NO_TAGS
+
+    def expr_tags(self, expr: ast.expr, env: Env, result: FlowResult) -> Optional[Tags]:
+        if isinstance(expr, ast.Name) and expr.id in self.ctx_names:
+            return frozenset({_CTX_TAG})
+        if isinstance(expr, ast.Subscript):
+            base = result.tags_of(expr.value, env)
+            if _CTX_TAG in base:
+                key = expr.slice
+                if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                    if key.value in self.attached_keys:
+                        return frozenset({_TABLE})
+                    return NO_TAGS
+                return frozenset({_TABLE})  # dynamic key: assume attached
+            if _TABLE in base:
+                idx = expr.slice
+                if isinstance(idx, ast.Name) and _SHARD in env.get(idx.id, NO_TAGS):
+                    return frozenset({_OWN})
+                return frozenset({_FOREIGN})
+            if _OWN in base:
+                return frozenset({_OWN})
+            if _FOREIGN in base:
+                return frozenset({_FOREIGN})
+            if _ATTACHED in base:
+                return frozenset({_ATTACHED})
+            return None
+        return None
+
+    def call_tags(
+        self, call: ast.Call, arg_tags: List[Tags], env: Env, result: FlowResult
+    ) -> Tags:
+        name = _callable_name(call.func)
+        if name == "attach_array":
+            return frozenset({_ATTACHED})
+        if self.project is None or self.caller is None or self._depth >= 3:
+            return NO_TAGS
+        qname = self.project.resolve_call(call.func, self.caller)
+        if qname is None or qname in self._active:
+            return NO_TAGS
+        return return_tags(self.project, qname, self)  # type: ignore[arg-type]
+
+    def element_tags(self, iterable_tags: Tags) -> Tags:
+        if _TABLE in iterable_tags:
+            # iterating the shard table yields slots the iterator does
+            # not own
+            return frozenset({_FOREIGN})
+        return iterable_tags  # tuple-unpacking an attach result, etc.
+
+
+def _module_dict_names(tree: ast.Module) -> FrozenSet[str]:
+    """Names of module-level ``NAME = {}``-style context tables."""
+    names: Set[str] = set()
+    for node in tree.body:
+        target: Optional[ast.expr] = None
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target, value = node.targets[0], node.value
+        elif isinstance(node, ast.AnnAssign):
+            target, value = node.target, node.value
+        if (
+            isinstance(target, ast.Name)
+            and isinstance(value, (ast.Dict, ast.DictComp))
+        ):
+            names.add(target.id)
+    return frozenset(names)
+
+
+class SharedWriteOwnershipRule(FlowRule):
+    """Attached-segment writes are confined to the own shard slot (GT006)."""
+
+    code = "GT006"
+    summary = "shared-workspace writes confined to the caller's shard slot"
+    include = ("repro/gossip/shard_exec.py", "repro/gossip/memory.py")
+    exclude = ()
+
+    def check(self, src: SourceFile) -> Iterator[Violation]:
+        project = self.project_for(src)
+        ctx_names = _module_dict_names(src.tree)
+        infos = project.functions_in(src)
+        attached_keys = self._discover_attached_keys(project, infos, ctx_names)
+        classifier = _OwnershipClassifier(ctx_names, attached_keys)
+        classifier.project = project
+        for info in infos:
+            flow = project.flow(info.qname)
+            if flow is None:
+                continue
+            classifier.caller = info
+            fr = flow.propagate(classifier)
+            yield from self._check_function(src, flow, fr)
+
+    # -- phase 1: which ctx keys hold attached segments --------------------
+
+    def _discover_attached_keys(
+        self, project: Any, infos: List[Any], ctx_names: FrozenSet[str]
+    ) -> FrozenSet[str]:
+        if not ctx_names:
+            return frozenset()
+        probe = _OwnershipClassifier(frozenset(), frozenset())
+        probe.project = project
+        keys: Set[str] = set()
+        for info in infos:
+            flow = project.flow(info.qname)
+            if flow is None:
+                continue
+            probe.caller = info
+            fr = flow.propagate(probe)
+            for stmt, node in flow._own_nodes():
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "update"
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id in ctx_names
+                ):
+                    for kw in node.keywords:
+                        if kw.arg and _ATTACHED in fr.tags_at(stmt, kw.value):
+                            keys.add(kw.arg)
+                elif isinstance(node, ast.Assign):
+                    for target in node.targets:
+                        if (
+                            isinstance(target, ast.Subscript)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id in ctx_names
+                            and isinstance(target.slice, ast.Constant)
+                            and isinstance(target.slice.value, str)
+                            and _ATTACHED in fr.tags_at(stmt, node.value)
+                        ):
+                            keys.add(target.slice.value)
+        return frozenset(keys)
+
+    # -- phase 2: write-site confinement -----------------------------------
+
+    def _check_function(
+        self, src: SourceFile, flow: Any, fr: FlowResult
+    ) -> Iterator[Violation]:
+        for stmt, node in flow._own_nodes():
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    if isinstance(target, ast.Subscript):
+                        yield from self._flag_write(
+                            src, fr, stmt, target.value, "subscript assignment"
+                        )
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(src, fr, stmt, node)
+
+    def _check_call(
+        self, src: SourceFile, fr: FlowResult, stmt: ast.stmt, call: ast.Call
+    ) -> Iterator[Violation]:
+        name = _callable_name(call.func)
+        if name in _TRAILING_WRITERS:
+            out_count = _TRAILING_WRITERS[name]
+            for arg in call.args[-out_count:]:
+                yield from self._flag_write(src, fr, stmt, arg, f"'{name}' out-arg")
+        elif name == "copyto" and call.args:
+            yield from self._flag_write(src, fr, stmt, call.args[0], "'copyto' target")
+        elif (
+            name in _MUTATOR_METHODS
+            and isinstance(call.func, ast.Attribute)
+        ):
+            yield from self._flag_write(
+                src, fr, stmt, call.func.value, f"'.{name}()' receiver"
+            )
+        for kw in call.keywords:
+            if kw.arg == "out":
+                yield from self._flag_write(src, fr, stmt, kw.value, "'out=' target")
+
+    def _flag_write(
+        self,
+        src: SourceFile,
+        fr: FlowResult,
+        stmt: ast.stmt,
+        written: ast.expr,
+        what: str,
+    ) -> Iterator[Violation]:
+        tags = fr.tags_at(stmt, written)
+        if _OWN in tags:
+            return
+        if _FOREIGN in tags:
+            yield self.violation(
+                src, written,
+                f"{what} writes a foreign shard's attached slot — {_ADVICE}",
+            )
+        elif _TABLE in tags:
+            yield self.violation(
+                src, written,
+                f"{what} writes through the unsliced shard table — {_ADVICE}",
+            )
+        elif _ATTACHED in tags:
+            yield self.violation(
+                src, written,
+                f"{what} writes a flat manifest-attached buffer (parent-owned) "
+                f"— {_ADVICE}",
+            )

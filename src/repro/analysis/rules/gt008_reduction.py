@@ -1,0 +1,98 @@
+"""GT008 — float reductions never accumulate in unordered container order.
+
+Floating-point addition is not associative: ``sum`` over the same
+values in a different order produces a different last bit, and the
+repo's bitwise contracts (workers-N ≡ workers-1, shard invariance,
+replayable fault plans) make that last bit load-bearing.  A reduction
+over a ``set``/``frozenset``/dict-view — whose iteration order depends
+on hash seeding, not the experiment seed — is therefore a determinism
+bug even when every element is "the same".
+
+Scoped to the numeric core (``core/``, ``gossip/``, ``trust/``) and
+powered by the same unordered-provenance dataflow as GT005.  Flagged:
+
+* ``sum(xs)`` / ``np.sum(xs)`` where ``xs`` is tagged unordered at the
+  call site;
+* ``acc += term`` (or ``-=`` / ``*=``) inside a loop iterating an
+  unordered container — the loop body realizes the unordered reduction
+  one element at a time.
+
+Passing: reduce over ``sorted(xs)``, or use ``math.fsum`` — its
+compensated summation is order-independent by construction, so an
+unordered argument is genuinely safe there.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.linter import FlowRule, SourceFile, Violation
+from repro.analysis.rules._flowutils import UNORDERED, UnorderedClassifier
+
+__all__ = ["FloatReductionOrderRule"]
+
+_ADVICE = (
+    "float reduction order must be seed-determined: reduce over "
+    "sorted(...) or use math.fsum (order-independent)"
+)
+
+_ACCUM_OPS = (ast.Add, ast.Sub, ast.Mult)
+
+
+class FloatReductionOrderRule(FlowRule):
+    """No order-dependent reductions over unordered containers (GT008)."""
+
+    code = "GT008"
+    summary = "no float accumulation in unordered-container order in the core"
+    include = ("repro/core/", "repro/gossip/", "repro/trust/")
+    exclude = ()
+
+    def check(self, src: SourceFile) -> Iterator[Violation]:
+        project = self.project_for(src)
+        classifier = UnorderedClassifier()
+        classifier.project = project
+        for info in project.functions_in(src):
+            flow = project.flow(info.qname)
+            if flow is None:
+                continue
+            classifier.caller = info
+            fr = flow.propagate(classifier)
+            for stmt, node in flow._own_nodes():
+                if not isinstance(node, ast.Call):
+                    continue
+                name = self._reducer_name(node.func)
+                if name != "sum" or not node.args:
+                    continue
+                if UNORDERED in fr.tags_at(stmt, node.args[0]):
+                    yield self.violation(
+                        src, node,
+                        f"'{name}' accumulates an unordered container in hash "
+                        f"order — {_ADVICE}",
+                    )
+            for stmt, iter_expr, site in flow.iteration_sites():
+                if not isinstance(site, (ast.For, ast.AsyncFor)):
+                    continue
+                if UNORDERED not in fr.tags_at(stmt, iter_expr):
+                    continue
+                for inner in ast.walk(site):
+                    if isinstance(inner, ast.AugAssign) and isinstance(
+                        inner.op, _ACCUM_OPS
+                    ):
+                        yield self.violation(
+                            src, inner,
+                            f"in-loop accumulation over an unordered container "
+                            f"— {_ADVICE}",
+                        )
+
+    @staticmethod
+    def _reducer_name(func: ast.expr) -> str:
+        """``sum`` for builtin/np.sum; ``math.fsum`` deliberately excluded."""
+        if isinstance(func, ast.Name):
+            return func.id
+        if isinstance(func, ast.Attribute):
+            base = func.value
+            if isinstance(base, ast.Name) and base.id in ("math",):
+                return f"math.{func.attr}"  # fsum passes
+            return func.attr
+        return ""

@@ -1,0 +1,91 @@
+"""GT009 — suppression hygiene: every GT ``# noqa`` names codes and a why.
+
+A suppression is a hole in the gate; an *unexplained* suppression is a
+hole nobody can audit.  House style: a sentinel silences specific
+codes and records its reason inline —
+
+    mass == 0.0  # noqa: GT004 -- exact sentinel: initialized literal
+
+This rule audits the sentinels themselves (and is deliberately
+*unsuppressible* — a ``# noqa: GT009`` cannot silence it):
+
+* a blanket ``# noqa`` (no codes) inside project scope — flagged: it
+  silences every current and future rule at once;
+* a sentinel naming any ``GTxxx`` code with no `` -- justification``
+  tail — flagged: the reviewer three PRs later needs the why;
+* a sentinel naming a GT code no registered rule owns — flagged: it is
+  dead (typo'd) armor.
+
+Detection runs on real comment tokens only (the framework's
+:mod:`tokenize` scan), so ``# noqa`` examples inside docstrings — like
+the ones in this file — are inert.  Foreign-tool sentinels
+(``# noqa: E402``-style ruff/flake8 codes) are out of scope: they name
+codes, and their linters have their own hygiene.  Test files are
+excluded — lint fixtures there quote sentinels as *data*.  The full
+sentinel inventory is reported by
+``tools/analyze.py --list-suppressions``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator
+
+from repro.analysis.linter import Rule, SourceFile, Violation
+
+__all__ = ["SuppressionHygieneRule", "GT_CODE_RE"]
+
+#: shape of a project rule code
+GT_CODE_RE = re.compile(r"^GT\d{3}$")
+
+
+def _known_codes() -> frozenset:
+    from repro.analysis.rules import ALL_RULES
+
+    return frozenset({rule.code for rule in ALL_RULES} | {"GT000"})
+
+
+class _Anchor:
+    """Positions a violation on the sentinel's own line."""
+
+    def __init__(self, line: int):
+        self.lineno = line
+        self.col_offset = 0
+
+
+class SuppressionHygieneRule(Rule):
+    """GT sentinels are targeted and justified (GT009)."""
+
+    code = "GT009"
+    summary = "noqa sentinels name GT codes and carry a '-- justification'"
+    include = ("repro/", "tools/", "examples/", "benchmarks/")
+    exclude = ("tests/",)
+    suppressible = False
+
+    def check(self, src: SourceFile) -> Iterator[Violation]:
+        known = _known_codes()
+        for sup in src.suppressions:
+            anchor = _Anchor(sup.line)
+            if sup.blanket:
+                yield self.violation(
+                    src, anchor,
+                    "blanket '# noqa' silences every rule — name the codes "
+                    "and append ' -- <why this is safe>'",
+                )
+                continue
+            gt_codes = sorted(c for c in sup.codes if GT_CODE_RE.match(c))
+            if not gt_codes:
+                continue  # foreign-tool sentinel (ruff/flake8)
+            unknown = [c for c in gt_codes if c not in known]
+            for c in unknown:
+                yield self.violation(
+                    src, anchor,
+                    f"sentinel names unregistered rule '{c}' — dead "
+                    "suppression (typo?)",
+                )
+            if not sup.justification:
+                yield self.violation(
+                    src, anchor,
+                    f"bare suppression of {', '.join(gt_codes)} — append "
+                    "' -- <why this is safe>' to the sentinel",
+                )

@@ -68,6 +68,8 @@ class InvariantViolation(ReproError):
         cycle: "int | None" = None,
         step: "int | None" = None,
         node: "int | None" = None,
+        shard: "int | None" = None,
+        slot: "int | None" = None,
     ):
         where = []
         if engine:
@@ -78,6 +80,10 @@ class InvariantViolation(ReproError):
             where.append(f"step {step}")
         if node is not None:
             where.append(f"node {node}")
+        if shard is not None:
+            where.append(f"shard {shard}")
+        if slot is not None:
+            where.append(f"slot {slot}")
         prefix = f"[{invariant}] " if invariant else ""
         suffix = f" ({', '.join(where)})" if where else ""
         super().__init__(f"{prefix}{message}{suffix}")
@@ -91,6 +97,10 @@ class InvariantViolation(ReproError):
         self.step = step
         #: offending node id, when one can be named
         self.node = node
+        #: column shard of a shared-workspace ownership breach
+        self.shard = shard
+        #: pool slot (0=X, 1=W, 2=out in attach order) of that breach
+        self.slot = slot
 
 
 class SimulationError(ReproError):

@@ -24,6 +24,7 @@ from repro.errors import ExperimentError
 from repro.experiments.base import ExperimentResult, mean_std, seed_range
 from repro.experiments.runner import SweepPoint, run_sweep
 from repro.experiments.synthetic import synthetic_trust_matrix
+from repro.gossip.base import GossipCycleResult
 from repro.gossip.factory import make_engine
 from repro.metrics.reporting import Series, TextTable
 from repro.metrics.telemetry import CycleRecord, CycleTelemetry
@@ -49,7 +50,7 @@ def _one_cycle(
     engine: str = "message",
     round_interval: float = 2.0,
     telemetry: Optional[CycleTelemetry] = None,
-):
+) -> "GossipCycleResult":
     """Run one message-level cycle under the given fault injection."""
     streams = RngStreams(seed)
     S = synthetic_trust_matrix(n, rng=streams.get("matrix"))

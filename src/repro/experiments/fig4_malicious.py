@@ -18,7 +18,7 @@ isolates the feedback attack (see peers/threat_models.py).
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import FrozenSet, Sequence, Tuple
 
 import numpy as np
 
@@ -30,9 +30,11 @@ from repro.experiments.runner import SweepPoint, run_sweep
 from repro.metrics.errors import rms_relative_error
 from repro.metrics.reporting import Series, TextTable
 from repro.peers.threat_models import (
+    ThreatScenario,
     build_collusive_scenario,
     build_independent_scenario,
 )
+from repro.trust.matrix import TrustMatrix
 from repro.utils.rng import RngStreams
 
 __all__ = ["run_fig4a", "run_fig4b"]
@@ -48,7 +50,9 @@ DEFAULT_FRACTIONS = (0.05, 0.10)
 RMS_CAP = 10.0
 
 
-def _rms_for(scenario, alpha: float, seed: int, *, gossip: bool) -> float:
+def _rms_for(
+    scenario: ThreatScenario, alpha: float, seed: int, *, gossip: bool
+) -> float:
     """RMS error of the attacked aggregation vs the truthful reference.
 
     Both sides run the system's actual two-round procedure: round 1
@@ -83,7 +87,9 @@ def _rms_for(scenario, alpha: float, seed: int, *, gossip: bool) -> float:
         n=n, alpha=alpha, engine_mode="probe", seed=seed, max_cycles=60
     )
 
-    def two_rounds_exact(S):
+    def two_rounds_exact(
+        S: TrustMatrix,
+    ) -> Tuple[np.ndarray, FrozenSet[int]]:
         first = exact_global_reputation(S, cfg, raise_on_budget=False)
         second = exact_global_reputation(
             S, cfg, power_nodes=first.power_nodes, raise_on_budget=False

@@ -13,7 +13,7 @@ of the success at a fraction of the concentration.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Any, Callable, Dict, List, Sequence
 
 import numpy as np
 
@@ -44,16 +44,16 @@ def gini(loads: np.ndarray) -> float:
 class _LoadTrackingPolicy:
     """Wraps a selection policy, counting downloads served per peer."""
 
-    def __init__(self, inner, n: int):
+    def __init__(self, inner: Any, n: int) -> None:
         self.inner = inner
         self.loads = np.zeros(n, dtype=np.int64)
 
-    def choose(self, responders):
-        pick = self.inner.choose(responders)
+    def choose(self, responders: Sequence[int]) -> int:
+        pick = int(self.inner.choose(responders))
         self.loads[pick] += 1
         return pick
 
-    def update_scores(self, scores):
+    def update_scores(self, scores: np.ndarray) -> None:
         self.inner.update_scores(scores)
 
 
@@ -76,10 +76,16 @@ def run_load(
     )
     success_series = Series(label="success rate")
     gini_series = Series(label="load gini")
-    raw = {}
+    raw: Dict[str, Dict[str, float]] = {}
 
-    def run_policy(label, make_policy, x_value):
-        succ, ginis, shares = [], [], []
+    def run_policy(
+        label: str,
+        make_policy: Callable[[RngStreams], Any],
+        x_value: float,
+    ) -> None:
+        succ: List[float] = []
+        ginis: List[float] = []
+        shares: List[float] = []
         for seed in seed_range(repeats):
             streams = RngStreams(seed)
             population = PeerPopulation.build(

@@ -45,7 +45,6 @@ primitives, so it crosses the process boundary untouched.
 
 from __future__ import annotations
 
-import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
@@ -54,6 +53,7 @@ import numpy as np
 
 from repro.errors import ExperimentError
 from repro.gossip.memory import BufferBackend, attach_array, make_backend
+from repro.metrics.telemetry import Stopwatch
 from repro.utils.proc import PeakRssMeter
 
 __all__ = [
@@ -166,12 +166,12 @@ class SweepPoint:
         worker don't all inherit the largest point's lifetime peak.
         """
         meter = PeakRssMeter()
-        start = time.perf_counter()
+        watch = Stopwatch()
         value = self.fn(seed=self.seed, **dict(self.kwargs))
         return SweepOutcome(
             point=self,
             value=value,
-            wall_time=time.perf_counter() - start,
+            wall_time=watch.elapsed(),
             peak_rss_kib=meter.read_kib(),
         )
 
@@ -276,7 +276,7 @@ def run_sweep(
     if workers < 1:
         raise ExperimentError(f"workers must be >= 1, got {workers}")
     points = list(points)
-    start = time.perf_counter()
+    watch = Stopwatch()
     if workers == 1 or len(points) <= 1:
         if workspace_spec is not None:
             attach_shared_workspace(workspace_spec)
@@ -288,7 +288,7 @@ def run_sweep(
         return SweepReport(
             outcomes=outcomes,
             workers=1 if workers == 1 else workers,
-            wall_time=time.perf_counter() - start,
+            wall_time=watch.elapsed(),
         )
     if chunk_size is None:
         chunk_size = max(1, len(points) // (4 * workers))
@@ -308,5 +308,5 @@ def run_sweep(
     return SweepReport(
         outcomes=outcomes,
         workers=workers,
-        wall_time=time.perf_counter() - start,
+        wall_time=watch.elapsed(),
     )

@@ -74,7 +74,11 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 from scipy import sparse
 
-from repro.analysis.sanitizer import InvariantSanitizer
+from repro.analysis.sanitizer import (
+    InvariantSanitizer,
+    ShardOwnershipGuard,
+    sanitize_enabled,
+)
 from repro.errors import ConvergenceError, ValidationError
 from repro.gossip import shard_exec
 from repro.gossip.base import CycleEngine, GossipCycleResult, TrustInput, coerce_csr
@@ -289,6 +293,7 @@ class SparseWorkspace:
         "shard_workers", "bounds", "shard_pools", "physical", "pools", "targets",
         "dense", "dense_on", "m_indptr", "m_indices", "m_data", "prev",
         "xt", "wt", "num", "den", "bp", "blk", "ids", "valid",
+        "ownership", "guard",
     )
 
     def __init__(
@@ -301,6 +306,7 @@ class SparseWorkspace:
         shards: int = 1,
         shard_workers: int = 1,
         target_rows: int = 1,
+        sanitize: bool = False,
     ) -> None:
         self.n = int(n)
         self.p = int(p)
@@ -346,6 +352,19 @@ class SparseWorkspace:
             if self.shard_workers > 1
             else None
         )
+        #: REPRO_SANITIZE=1 parallel runs: shadow-ownership epoch map
+        #: and its guard (see analysis.sanitizer.ShardOwnershipGuard)
+        self.ownership: Optional[np.ndarray] = None
+        self.guard: Optional[ShardOwnershipGuard] = None
+        if sanitize and self.shard_workers > 1:
+            own = be.empty((self.shards, 3), np.int64, "ownership")
+            own[:] = 0
+            self.ownership = own
+            self.guard = ShardOwnershipGuard(own)
+            for si, triple in enumerate(self.physical):
+                for slot, pool in enumerate(triple):
+                    self.guard.register_pool(pool.label, si, slot)
+                    pool.guard = self.guard
         self.m_indptr = be.empty(n + 1, np.int32, "m-indptr")
         self.m_indptr[0] = 0
         self.m_indices = be.empty(2 * n, np.int32, "m-indices")
@@ -373,6 +392,7 @@ class SparseWorkspace:
         block_rows: int,
         shards: int = 1,
         shard_workers: int = 1,
+        sanitize: bool = False,
     ) -> bool:
         """Whether these pools serve the full shape tuple and are live."""
         return (
@@ -383,6 +403,8 @@ class SparseWorkspace:
             and self.block_rows == int(block_rows)
             and self.shards == max(1, min(int(shards), self.p))
             and self.shard_workers == max(1, int(shard_workers))
+            and (self.guard is not None)
+            == (bool(sanitize) and max(1, int(shard_workers)) > 1)
         )
 
     def invalidate(self) -> None:
@@ -397,7 +419,7 @@ class SparseWorkspace:
         self.pools = []
         for name in (
             "m_indptr", "m_indices", "m_data", "prev", "targets",
-            "xt", "wt", "num", "den", "bp", "ids",
+            "xt", "wt", "num", "den", "bp", "ids", "ownership", "guard",
         ):
             setattr(self, name, None)
         self.backend.close()
@@ -787,13 +809,18 @@ class SynchronousGossipEngine(CycleEngine):
     def _acquire_sparse_workspace(self, p: int) -> SparseWorkspace:
         """The reusable CSR pool set for shape ``(n, p)`` (sparse kernel)."""
         shards = self._effective_shards(p)
+        # Shadow-ownership guarding follows the process-wide sanitizer
+        # switch or an armed engine; only parallel runs carry the map.
+        sanitize = self.shard_workers > 1 and (
+            self.sanitizer is not None or sanitize_enabled()
+        )
         ws = self._sparse_workspace
         if (
             not self.reuse_workspace
             or ws is None
             or not ws.matches(
                 self.n, p, self._dtype, self.block_rows,
-                shards, self.shard_workers,
+                shards, self.shard_workers, sanitize,
             )
         ):
             if ws is not None:
@@ -808,6 +835,7 @@ class SynchronousGossipEngine(CycleEngine):
                 shards,
                 self.shard_workers,
                 self.check_every,
+                sanitize,
             )
             self._sparse_workspace = ws if self.reuse_workspace else None
         return ws
@@ -1164,6 +1192,8 @@ class SynchronousGossipEngine(CycleEngine):
         executor = (
             self._acquire_shard_executor(ws) if ws.shard_workers > 1 else None
         )
+        if executor is not None and ws.guard is not None:
+            ws.guard.begin_cycle(self.name)
         # Serial private runs hand each shard off to dense slot arrays
         # once its occupancy crosses densify_threshold: past that point
         # SpMM (csr_matvecs) beats SpGEMM per step and the index arrays
@@ -1329,16 +1359,28 @@ class SynchronousGossipEngine(CycleEngine):
         perm = tuple(
             ws.physical[0].index(pool) for pool in ws.shard_pools[0]
         )
+        guard = ws.guard
         while step < target:
             w = min(target - step, rows)
             for t in range(w):
                 targets[t, :] = stream.next()
-            futures = [
-                executor.submit(shard_exec.advance_shard, si, step, w, perm)
+            # Under the shadow-ownership sanitizer every shard's slots
+            # are leased to exactly one task per window; the worker
+            # claims them on entry and the collect below frees them.
+            tickets = [
+                guard.lease(si, step=step) if guard is not None else 0
                 for si in range(ws.shards)
             ]
-            for fut in futures:
+            futures = [
+                executor.submit(
+                    shard_exec.advance_shard, si, step, w, perm, tickets[si]
+                )
+                for si in range(ws.shards)
+            ]
+            for si, fut in enumerate(futures):
                 fut.result()
+                if guard is not None:
+                    guard.collect(si, tickets[si], step=step)
             step += w
         xs = (-step) % 3
         wsl = (1 - step) % 3

@@ -313,7 +313,7 @@ class CsrPool:
 
     __slots__ = (
         "n", "cols", "label", "indptr", "indices", "data", "nnz",
-        "_backend", "_dtype",
+        "guard", "_backend", "_dtype",
     )
 
     def __init__(
@@ -345,6 +345,9 @@ class CsrPool:
         self.indices = backend.empty(capacity, INDEX_DTYPE, f"{label}-indices")
         self.data = backend.empty(capacity, self._dtype, f"{label}-data")
         self.nnz = 0
+        #: optional shadow-ownership sanitizer hook (REPRO_SANITIZE=1):
+        #: a ShardOwnershipGuard this pool reports parent-side writes to
+        self.guard = None
 
     @property
     def full_capacity(self) -> int:
@@ -365,6 +368,8 @@ class CsrPool:
         needed = min(int(needed), self.full_capacity)
         if self.capacity >= needed:
             return
+        if self.guard is not None:
+            self.guard.check_parent_write(self.label, what="ensure/grow")
         new_cap = min(max(needed, 2 * self.capacity), self.full_capacity)
         self.indices = self._backend.empty(new_cap, INDEX_DTYPE, f"{self.label}-indices")
         self.data = self._backend.empty(new_cap, self._dtype, f"{self.label}-data")
@@ -380,6 +385,8 @@ class CsrPool:
         engine gates on it): releasing manifest-listed arrays would
         orphan segments that attached processes still map.
         """
+        if self.guard is not None:
+            self.guard.check_parent_write(self.label, what="release")
         self.indices = self._backend.empty(1, INDEX_DTYPE, f"{self.label}-indices")
         self.data = self._backend.empty(1, self._dtype, f"{self.label}-data")
         self.indptr[0] = 0
@@ -391,6 +398,8 @@ class CsrPool:
             raise ValidationError(
                 f"matrix shape {mat.shape} does not fit pool ({self.n}, {self.cols})"
             )
+        if self.guard is not None:
+            self.guard.check_parent_write(self.label, what="load")
         nnz = int(mat.nnz)
         self.ensure(nnz)
         self.indptr[:] = mat.indptr

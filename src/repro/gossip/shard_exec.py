@@ -35,6 +35,7 @@ from typing import Any, Dict, List, Tuple
 
 import numpy as np
 
+from repro.analysis.sanitizer import ShardOwnershipGuard
 from repro.gossip.memory import attach_array
 
 try:  # the C SpGEMM kernel behind scipy's csr @ csr
@@ -97,7 +98,7 @@ def workspace_spec(ws: Any) -> Dict[str, Any]:
             [{part: manifest[f"{pool.label}-{part}"] for part in _POOL_PARTS}
              for pool in triple]
         )
-    return {
+    spec = {
         "backend": ws.backend.name,
         "n": ws.n,
         "dtype": ws.dtype.str,
@@ -105,6 +106,11 @@ def workspace_spec(ws: Any) -> Dict[str, Any]:
         "pools": pools,
         "targets": manifest["targets"],
     }
+    if getattr(ws, "guard", None) is not None:
+        # REPRO_SANITIZE=1: ship the shadow-ownership epoch map so the
+        # worker-side guard observes the same cells as the parent's.
+        spec["ownership"] = manifest["ownership"]
+    return spec
 
 
 def init_worker(spec: Dict[str, Any]) -> None:
@@ -134,6 +140,11 @@ def init_worker(spec: Dict[str, Any]) -> None:
              for ent in pool_entries]
         )
     targets = _get(spec["targets"])
+    guard = (
+        ShardOwnershipGuard(_get(spec["ownership"]))
+        if spec.get("ownership") is not None
+        else None
+    )
     m_indptr = np.zeros(n + 1, dtype=np.int32)
     m_data = np.empty(2 * n, dtype=dt)
     m_data.fill(0.5)
@@ -144,6 +155,7 @@ def init_worker(spec: Dict[str, Any]) -> None:
         shard_cols=[int(c) for c in spec["shard_cols"]],
         targets=targets,
         keepers=keepers,
+        guard=guard,
         ids=np.arange(n),
         m_indptr=m_indptr,
         m_indices=np.empty(2 * n, dtype=np.int32),
@@ -153,7 +165,11 @@ def init_worker(spec: Dict[str, Any]) -> None:
 
 # hot: worker shard step loop — two attached-pool SpGEMMs per step
 def advance_shard(
-    shard: int, start_step: int, window: int, perm: Tuple[int, int, int] = (0, 1, 2)
+    shard: int,
+    start_step: int,
+    window: int,
+    perm: Tuple[int, int, int] = (0, 1, 2),
+    ticket: int = 0,
 ) -> int:
     """Step one shard through ``window`` gossip steps; returns ``shard``.
 
@@ -165,8 +181,16 @@ def advance_shard(
     logical slot indices onto the attach-order pool list — the parent
     re-sorts its pool triples to [X, W, out] between cycles, while a
     worker's attached view keeps creation order for its whole lifetime.
+
+    Under ``REPRO_SANITIZE=1`` the parent passes the window's ownership
+    ``ticket`` and the task claims its shard's shadow-ownership cells
+    before touching the pools — an overlapping dispatch raises
+    :class:`~repro.errors.InvariantViolation` instead of racing.
     """
     ctx = _CTX
+    guard: "ShardOwnershipGuard | None" = ctx.get("guard")
+    if guard is not None and ticket:
+        guard.claim(shard, ticket, step=start_step)
     n: int = ctx["n"]
     cols: int = ctx["shard_cols"][shard]
     pools: List[PoolArrays] = ctx["shards"][shard]

@@ -46,7 +46,7 @@ class ChurnModel:
         mean_offline: Optional[float] = 20.0,
         min_alive: int = 2,
         rng: SeedLike = None,
-    ):
+    ) -> None:
         check_positive("mean_session", mean_session)
         if mean_offline is not None:
             check_positive("mean_offline", mean_offline)

@@ -62,7 +62,7 @@ class ChordRing:
     small test rings with tiny ``bits`` stay correct).
     """
 
-    def __init__(self, nodes: Sequence[int], bits: int = 32):
+    def __init__(self, nodes: Sequence[int], bits: int = 32) -> None:
         if bits < 3 or bits > 160:
             raise ValidationError(f"bits must be in [3, 160], got {bits}")
         if not nodes:

@@ -43,7 +43,7 @@ class FloodSearch:
     timing genuinely matters.)
     """
 
-    def __init__(self, overlay: Overlay, default_ttl: int = 7):
+    def __init__(self, overlay: Overlay, default_ttl: int = 7) -> None:
         if default_ttl < 0:
             raise ValidationError(f"default_ttl must be >= 0, got {default_ttl}")
         self.overlay = overlay

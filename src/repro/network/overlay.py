@@ -33,7 +33,7 @@ class Overlay:
         Seed or generator for partner sampling and join wiring.
     """
 
-    def __init__(self, topology: Topology, rng: SeedLike = None):
+    def __init__(self, topology: Topology, rng: SeedLike = None) -> None:
         self._topo = topology
         self._adj: List[Set[int]] = topology.adjacency_sets()
         self._alive: np.ndarray = np.ones(topology.n, dtype=bool)

@@ -43,7 +43,7 @@ class Topology:
 
     __slots__ = ("_n", "_adj", "_edge_count")
 
-    def __init__(self, n: int, edges: Iterable[Tuple[int, int]]):
+    def __init__(self, n: int, edges: Iterable[Tuple[int, int]]) -> None:
         if n < 1:
             raise ValidationError(f"topology must have >= 1 node, got n={n}")
         adj: List[Set[int]] = [set() for _ in range(n)]
@@ -230,7 +230,10 @@ def powerlaw_graph(n: int, m: int = 3, rng: SeedLike = None) -> Topology:
         while len(targets) < m:
             pick = endpoints[int(gen.integers(len(endpoints)))]
             targets.add(pick)
-        for t in targets:
+        # Deterministic attachment order: set iteration would ride on
+        # CPython's int-hash table layout, and endpoint order feeds the
+        # next rounds' draws.
+        for t in sorted(targets):
             edges.append((new, t))
             endpoints.append(new)
             endpoints.append(t)

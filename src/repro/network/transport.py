@@ -139,7 +139,7 @@ class Transport:
         latency: float = 1.0,
         loss_rate: float = 0.0,
         rng: SeedLike = None,
-    ):
+    ) -> None:
         check_non_negative("latency", latency)
         check_probability("loss_rate", loss_rate)
         self.sim = sim

@@ -103,9 +103,7 @@ class FeedbackLedger:
         if score < 0:
             raise ValidationError(f"raw local scores are non-negative, got {score}")
         row = self._scores.setdefault(rater, {})
-        # Exact sentinel: 0.0 is the caller's literal "erase this
-        # score" value, not an accumulated quantity.
-        if score == 0.0:  # noqa: GT004
+        if score == 0.0:  # noqa: GT004 -- exact sentinel: 0.0 is the caller's literal 'erase this score' value, not an accumulated quantity
             row.pop(ratee, None)
         else:
             row[ratee] = float(score)
@@ -116,9 +114,7 @@ class FeedbackLedger:
         self._check(rater, ratee)
         row = self._scores.setdefault(rater, {})
         new = max(0.0, row.get(ratee, 0.0) + delta)
-        # Exact sentinel: max(0.0, ...) pins fully-decayed scores to
-        # exactly 0.0, so the equality is reliable.
-        if new == 0.0:  # noqa: GT004
+        if new == 0.0:  # noqa: GT004 -- exact sentinel: max(0.0, ...) pins fully-decayed scores to exactly 0.0
             row.pop(ratee, None)
         else:
             row[ratee] = new

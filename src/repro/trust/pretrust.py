@@ -83,9 +83,7 @@ class PretrustVector:
             raise ValidationError(
                 f"aggregated vector must have shape ({self.n},), got {agg.shape}"
             )
-        # Exact sentinel: alpha=0.0 means "mixing disabled", set
-        # literally by callers, never computed.
-        if alpha == 0.0:  # noqa: GT004
+        if alpha == 0.0:  # noqa: GT004 -- exact sentinel: alpha=0.0 is the literal 'mixing disabled' flag, set by callers, never computed
             return agg.copy()
         return (1.0 - alpha) * agg + alpha * self._vector
 

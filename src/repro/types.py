@@ -67,9 +67,7 @@ class GossipPair:
     @property
     def estimate(self) -> float:
         """Current gossiped score ``beta = x / w`` (``inf``/``nan`` if w == 0)."""
-        # Exact sentinel: w is only ever 0.0 when no mass has arrived,
-        # never a rounded-down tiny value.
-        if self.w == 0.0:  # noqa: GT004
+        if self.w == 0.0:  # noqa: GT004 -- exact sentinel: w is 0.0 only before any mass arrives, never a rounded-down tiny value
             return float("inf") if self.x > 0 else float("nan")
         return self.x / self.w
 
@@ -85,8 +83,7 @@ class Triplet:
     @property
     def estimate(self) -> float:
         """Gossiped global score of ``node``."""
-        # Exact sentinel: see GossipPair.estimate.
-        if self.w == 0.0:  # noqa: GT004
+        if self.w == 0.0:  # noqa: GT004 -- exact sentinel: see GossipPair.estimate
             return float("inf") if self.x > 0 else float("nan")
         return self.x / self.w
 

@@ -68,8 +68,10 @@ class TestFramework:
         rule = NoWallClockRule()
         bad = "import time\nt = time.time()\n"
         assert lint_snippet(rule, bad, path="src/repro/gossip/engine2.py")
-        # Outside the deterministic core the rule does not apply.
-        assert not lint_snippet(rule, bad, path="src/repro/experiments/x.py")
+        # The service/experiment layers are in scope since the GT003
+        # extension; the metrics layer (home of Stopwatch) is not.
+        assert lint_snippet(rule, bad, path="src/repro/experiments/x.py")
+        assert not lint_snippet(rule, bad, path="src/repro/metrics/reporting2.py")
 
     def test_exclude_scoping(self):
         rule = NoWallClockRule()
@@ -91,7 +93,10 @@ class TestFramework:
 
     def test_all_rules_catalog(self):
         codes = [r.code for r in ALL_RULES]
-        assert codes == ["GT001", "GT002", "GT003", "GT004"]
+        assert codes == [
+            "GT001", "GT002", "GT003", "GT004", "GT005",
+            "GT006", "GT007", "GT008", "GT009",
+        ]
         assert len(set(codes)) == len(codes)
         assert all(r.summary for r in ALL_RULES)
 
@@ -372,5 +377,6 @@ class TestRepositoryAndCli:
             capture_output=True, text=True,
         )
         assert proc.returncode == 0
-        for code in ("GT001", "GT002", "GT003", "GT004"):
+        for code in ("GT001", "GT002", "GT003", "GT004", "GT005",
+                     "GT006", "GT007", "GT008", "GT009"):
             assert code in proc.stdout

@@ -7,10 +7,13 @@ Usage::
     python tools/analyze.py --list-rules            # show the catalog
     python tools/analyze.py --select GT001,GT003 src
     python tools/analyze.py --format=github src     # CI annotations
+    python tools/analyze.py --list-suppressions src # sentinel inventory
 
 Exit status: 0 when clean, 1 when violations were found, 2 on usage
-errors.  See DESIGN.md ("Static analysis & sanitizers") for the rule
-catalog and how to add a rule.
+errors.  ``--list-suppressions`` reports every ``# noqa`` sentinel with
+its codes and justification (exit 0; GT009 is what *fails* bare ones).
+See DESIGN.md ("Static analysis & sanitizers") for the rule catalog
+and how to add a rule.
 """
 
 from __future__ import annotations
@@ -26,7 +29,7 @@ _SRC = Path(__file__).resolve().parent.parent / "src"
 if _SRC.is_dir() and str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
-from repro.analysis.linter import Rule, lint_paths  # noqa: E402
+from repro.analysis.linter import Rule, lint_paths, load_sources  # noqa: E402
 from repro.analysis.rules import ALL_RULES  # noqa: E402
 
 
@@ -51,6 +54,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--list-rules", action="store_true", help="print the rule catalog and exit"
     )
+    parser.add_argument(
+        "--list-suppressions",
+        action="store_true",
+        help="report every # noqa sentinel (codes + justification) and exit",
+    )
     return parser
 
 
@@ -69,6 +77,23 @@ def select_rules(spec: "str | None") -> List[Rule]:
     return [rule for rule in ALL_RULES if rule.code in wanted]
 
 
+def list_suppressions(paths: Sequence[str]) -> int:
+    """Print every ``# noqa`` sentinel under ``paths`` with its why."""
+    sources, parse_errors = load_sources(paths)
+    for v in parse_errors:
+        print(v.format("text"), file=sys.stderr)
+    count = 0
+    for src in sources:
+        for sup in src.suppressions:
+            count += 1
+            codes = "*" if sup.blanket else ",".join(sorted(sup.codes))
+            why = sup.justification or "(no justification)"
+            print(f"{sup.path}:{sup.line}: {codes} -- {why}")
+    print(f"analyze: {count} suppression(s) across "
+          f"{len(sources)} file(s)", file=sys.stderr)
+    return 0
+
+
 def main(argv: "Sequence[str] | None" = None) -> int:
     args = build_parser().parse_args(argv)
     if args.list_rules:
@@ -85,6 +110,8 @@ def main(argv: "Sequence[str] | None" = None) -> int:
     if missing:
         print(f"analyze: no such path(s): {', '.join(missing)}", file=sys.stderr)
         return 2
+    if args.list_suppressions:
+        return list_suppressions(args.paths)
     try:
         rules = select_rules(args.select)
     except SystemExit as exc:
